@@ -1,0 +1,239 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (one benchmark per artifact; see DESIGN.md §4)
+// plus raw data-structure benchmarks for the hot paths.
+//
+// The experiment benchmarks measure the real CPU cost of running each
+// simulation and report the paper's quantities — simulated latencies in
+// milliseconds, improvement factors — via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints paper-vs-measured numbers next to
+// real throughput.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/clam"
+	"repro/internal/dedup"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/vclock"
+)
+
+// reportAll exports a Report's metrics on the benchmark.
+func reportAll(b *testing.B, r experiments.Report) {
+	b.Helper()
+	for name, v := range r.Metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkFig3BloomSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3()
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig4InsertCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4()
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig5SpuriousRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkTable2LookupIOs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig6LatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig7BDBLatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkTable3MixSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig8PartialDiscard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig9WANThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkFig10PerObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkEvictionPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Headline(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAll(b, r)
+		}
+	}
+}
+
+func BenchmarkDedupMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clock := vclock.New()
+		c, err := clam.Open(clam.Options{
+			Device: clam.IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Clock: clock,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := dedup.NewFingerprintSet(1, 50000)
+		if err := dedup.Populate(c, base); err != nil {
+			b.Fatal(err)
+		}
+		res, err := dedup.MergeOverlapping(c, dedup.NewOverlappingSet(base, 2, 20000, 0.3), clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rate(), "fps/s(virtual)")
+			b.ReportMetric(metrics.Ms(res.Elapsed), "merge_ms(virtual)")
+		}
+	}
+}
+
+// --- raw data-structure throughput (real CPU time) ---
+
+func BenchmarkCLAMInsert(b *testing.B) {
+	c, err := clam.Open(clam.Options{
+		Device: clam.IntelSSD, FlashBytes: 64 << 20, MemoryBytes: 12 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(rng.Uint64()|1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := c.Stats()
+	b.ReportMetric(metrics.Ms(st.InsertLatency.Mean), "insert_ms(virtual)")
+}
+
+func BenchmarkCLAMLookup(b *testing.B) {
+	c, err := clam.Open(clam.Options{
+		Device: clam.IntelSSD, FlashBytes: 64 << 20, MemoryBytes: 12 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 20
+	for i := uint64(1); i <= n; i++ {
+		if err := c.Insert(i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	c.ResetMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Lookup(uint64(rng.Int63n(n*2)) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := c.Stats()
+	b.ReportMetric(metrics.Ms(st.LookupLatency.Mean), "lookup_ms(virtual)")
+	b.ReportMetric(st.Core.HitRate(), "hit_rate")
+}

@@ -1,0 +1,369 @@
+// Package clam provides the public API of the CLAM — the Cheap and Large
+// CAM of Anand et al. (NSDI 2010): a large hash table spanning DRAM and
+// flash, built on the BufferHash data structure (internal/core), offering
+// fast inserts, lookups, lazy updates/deletes, and flexible eviction.
+//
+// A CLAM is opened over a simulated storage device (Intel-class SSD,
+// Transcend-class SSD, raw NAND chip, or magnetic disk — see DESIGN.md §3
+// for why simulation preserves the paper's behaviour) and operates in
+// virtual time: every operation advances a virtual clock by its modeled
+// latency, and per-operation latency distributions are recorded in
+// histograms that the experiment harness turns into the paper's tables and
+// figures.
+//
+// Quick start:
+//
+//	c, err := clam.Open(clam.Options{
+//	    Device:      clam.IntelSSD,
+//	    FlashBytes:  256 << 20, // scaled-down stand-in for the paper's 32 GB
+//	    MemoryBytes: 32 << 20,  // DRAM budget, split per §6.4
+//	})
+//	...
+//	c.Insert(fingerprint, diskAddress)
+//	if addr, ok, _ := c.Lookup(fingerprint); ok { ... }
+//
+// All methods are safe for concurrent use; operations are serialized
+// internally, matching the paper's blocking-I/O design point.
+package clam
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/flashchip"
+	"repro/internal/metrics"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// DeviceKind selects one of the calibrated device models.
+type DeviceKind int
+
+// Device models (see internal/ssd, internal/flashchip, internal/disk).
+const (
+	// IntelSSD is the paper's Intel X18-M: page-mapped FTL, fast reads.
+	IntelSSD DeviceKind = iota
+	// TranscendSSD is the paper's Transcend TS32GSSD25: block-mapped FTL,
+	// an older and much cheaper device.
+	TranscendSSD
+	// FlashChip is a raw NAND chip (2 KB pages, 128 KB erase blocks).
+	FlashChip
+	// MagneticDisk is a 7200-rpm hard disk (the BH+Disk baseline).
+	MagneticDisk
+)
+
+// String returns the device name.
+func (d DeviceKind) String() string {
+	switch d {
+	case IntelSSD:
+		return "ssd-intel"
+	case TranscendSSD:
+		return "ssd-transcend"
+	case FlashChip:
+		return "flash-chip"
+	case MagneticDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
+// Policy re-exports the BufferHash eviction policies (§5.1.2).
+type Policy = core.EvictionPolicy
+
+// Eviction policies.
+const (
+	FIFO          = core.FIFO
+	LRU           = core.LRU
+	UpdateBased   = core.UpdateBased
+	PriorityBased = core.PriorityBased
+)
+
+// Options configures a CLAM. FlashBytes and MemoryBytes are the only
+// required fields; everything else has paper-faithful defaults derived by
+// the §6.4 tuning rules.
+type Options struct {
+	// Device selects the storage model; default IntelSSD.
+	Device DeviceKind
+	// CustomDevice overrides Device with a caller-supplied model. The
+	// caller must construct it against Clock (or leave Clock nil and use
+	// the device's clock).
+	CustomDevice storage.Device
+
+	// FlashBytes is F, the slow-storage capacity dedicated to the hash
+	// table. Required.
+	FlashBytes int64
+	// MemoryBytes is M, the DRAM budget. Per §6.4 it is split into
+	// B_opt ≈ 2F/s bits of buffers with the remainder for Bloom filters.
+	// Required unless BufferKB/FilterBitsPerEntry are both set.
+	MemoryBytes int64
+
+	// BufferKB overrides B′, the per-super-table buffer size (default:
+	// 128 KB, or the device erase block on raw flash).
+	BufferKB int
+	// FilterBitsPerEntry overrides the Bloom budget (default: derived
+	// from MemoryBytes).
+	FilterBitsPerEntry int
+	// MaxIncarnations caps k per super table (default 16, the paper's
+	// configuration; hard limit 64).
+	MaxIncarnations int
+
+	// Policy selects eviction behaviour; Retain configures PriorityBased.
+	Policy Policy
+	Retain func(key, value uint64) bool
+
+	// Seed makes all hashing deterministic (default 1).
+	Seed uint64
+
+	// Clock supplies the virtual clock; one is created if nil.
+	Clock *vclock.Clock
+
+	// DisableBloom / DisableBitslice are the §7.3.1 ablation switches.
+	DisableBloom    bool
+	DisableBitslice bool
+}
+
+// CLAM is a cheap and large CAM. Safe for concurrent use.
+type CLAM struct {
+	mu     sync.Mutex
+	bh     *core.BufferHash
+	dev    storage.Device
+	clock  *vclock.Clock
+	insert metrics.Histogram
+	lookup metrics.Histogram
+	del    metrics.Histogram
+}
+
+// effectiveEntryBytes is s in the §6 analysis: 16-byte entries at 50%
+// cuckoo utilization occupy 32 bytes of buffer/flash per stored entry.
+const effectiveEntryBytes = 32.0
+
+// Open builds a CLAM from Options, applying the §6.4 tuning rules.
+func Open(opts Options) (*CLAM, error) {
+	if opts.FlashBytes <= 0 {
+		return nil, fmt.Errorf("clam: FlashBytes is required")
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.New()
+	}
+	dev := opts.CustomDevice
+	if dev == nil {
+		switch opts.Device {
+		case IntelSSD:
+			dev = ssd.New(ssd.IntelX18M(), opts.FlashBytes, clock)
+		case TranscendSSD:
+			dev = ssd.New(ssd.TranscendTS32(), opts.FlashBytes, clock)
+		case FlashChip:
+			dev = flashchip.New(flashchip.DefaultConfig(opts.FlashBytes), clock)
+		case MagneticDisk:
+			dev = disk.New(disk.Hitachi7K80(), opts.FlashBytes, clock)
+		default:
+			return nil, fmt.Errorf("clam: unknown device kind %d", opts.Device)
+		}
+	}
+	cfg, err := deriveConfig(opts, dev, clock)
+	if err != nil {
+		return nil, err
+	}
+	bh, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CLAM{bh: bh, dev: dev, clock: clock}, nil
+}
+
+// deriveConfig applies §6.4: choose B′ (≈ flash block), the number of super
+// tables from B_opt, k = F/(nt·B′), and give all remaining memory to Bloom
+// filters.
+func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.Config, error) {
+	g := dev.Geometry()
+	bufBytes := opts.BufferKB << 10
+	if bufBytes == 0 {
+		bufBytes = 128 << 10
+		if _, erasable := dev.(storage.Eraser); erasable && g.BlockSize > 0 {
+			bufBytes = g.BlockSize
+		}
+	}
+	maxK := opts.MaxIncarnations
+	if maxK == 0 {
+		maxK = 16
+	}
+	if maxK > 64 {
+		return core.Config{}, fmt.Errorf("clam: MaxIncarnations %d > 64", maxK)
+	}
+
+	// Total buffer allocation: B_opt, clamped to at most half the memory
+	// budget, and at least one buffer.
+	bOpt := costmodel.OptimalBufferBytes(opts.FlashBytes, effectiveEntryBytes)
+	if opts.MemoryBytes > 0 && bOpt > opts.MemoryBytes/2 {
+		bOpt = opts.MemoryBytes / 2
+	}
+	nt := bOpt / int64(bufBytes)
+	// k = F/(nt·B′) must stay ≤ maxK; widen the partitioning if needed.
+	for nt == 0 || opts.FlashBytes/(nt*int64(bufBytes)) > int64(maxK) {
+		if nt == 0 {
+			nt = 1
+			continue
+		}
+		nt *= 2
+	}
+	partitionBits := uint(bits.Len64(uint64(nt)) - 1) // floor(log2)
+	nt = 1 << partitionBits
+	k := int(opts.FlashBytes / (nt * int64(bufBytes)))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxK {
+		k = maxK
+	}
+
+	fbe := opts.FilterBitsPerEntry
+	if fbe == 0 {
+		if opts.MemoryBytes == 0 {
+			fbe = 16 // the paper's candidate configuration
+		} else {
+			bloomBytes := opts.MemoryBytes - nt*int64(bufBytes)
+			if bloomBytes <= 0 {
+				return core.Config{}, fmt.Errorf(
+					"clam: MemoryBytes %d leaves no room for Bloom filters after %d of buffers",
+					opts.MemoryBytes, nt*int64(bufBytes))
+			}
+			entries := nt * int64(k) * int64(bufBytes/32) // n′ per incarnation × all
+			fbe = int(bloomBytes * 8 / entries)
+			if fbe < 1 {
+				fbe = 1
+			}
+			if fbe > 64 {
+				fbe = 64
+			}
+		}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return core.Config{
+		Device:             dev,
+		Clock:              clock,
+		PartitionBits:      partitionBits,
+		BufferBytes:        bufBytes,
+		NumIncarnations:    k,
+		FilterBitsPerEntry: fbe,
+		FilterHashes:       0,
+		Policy:             opts.Policy,
+		Retain:             opts.Retain,
+		Seed:               seed,
+		DisableBloom:       opts.DisableBloom,
+		DisableBitslice:    opts.DisableBitslice,
+	}, nil
+}
+
+// Insert adds or updates a (key, value) mapping.
+func (c *CLAM) Insert(key, value uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	err := c.bh.Insert(key, value)
+	c.insert.Observe(w.Elapsed())
+	return err
+}
+
+// Update is an alias of Insert with the paper's lazy-update semantics.
+func (c *CLAM) Update(key, value uint64) error { return c.Insert(key, value) }
+
+// Lookup returns the latest value stored under key.
+func (c *CLAM) Lookup(key uint64) (value uint64, found bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	res, err := c.bh.Lookup(key)
+	c.lookup.Observe(w.Elapsed())
+	return res.Value, res.Found, err
+}
+
+// Delete lazily removes key (§5.1.1).
+func (c *CLAM) Delete(key uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	err := c.bh.Delete(key)
+	c.del.Observe(w.Elapsed())
+	return err
+}
+
+// Flush forces all buffered entries to flash.
+func (c *CLAM) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bh.Flush()
+}
+
+// Clock returns the virtual clock (for building workloads that pace
+// arrivals in virtual time).
+func (c *CLAM) Clock() *vclock.Clock { return c.clock }
+
+// Device returns the underlying storage device.
+func (c *CLAM) Device() storage.Device { return c.dev }
+
+// Core exposes the underlying BufferHash for the experiment harness.
+// Callers must not use it concurrently with CLAM methods.
+func (c *CLAM) Core() *core.BufferHash { return c.bh }
+
+// Stats is a point-in-time summary of a CLAM's behaviour.
+type Stats struct {
+	Core   core.Stats
+	Device storage.Counters
+
+	InsertLatency metrics.Summary
+	LookupLatency metrics.Summary
+	DeleteLatency metrics.Summary
+
+	Memory core.MemoryFootprint
+}
+
+// Stats snapshots the operation counters and latency summaries.
+func (c *CLAM) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Core:          c.bh.Stats(),
+		Device:        c.dev.Counters(),
+		InsertLatency: c.insert.Summarize(),
+		LookupLatency: c.lookup.Summarize(),
+		DeleteLatency: c.del.Summarize(),
+		Memory:        c.bh.MemoryFootprint(),
+	}
+}
+
+// InsertHistogram returns the insert latency histogram (callers must not
+// race it against operations; quiesce first).
+func (c *CLAM) InsertHistogram() *metrics.Histogram { return &c.insert }
+
+// LookupHistogram returns the lookup latency histogram.
+func (c *CLAM) LookupHistogram() *metrics.Histogram { return &c.lookup }
+
+// ResetMetrics clears latency histograms and core counters, typically after
+// a warm-up phase.
+func (c *CLAM) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert.Reset()
+	c.lookup.Reset()
+	c.del.Reset()
+	c.bh.ResetStats()
+}
+
+// Elapse advances the virtual clock by d, modeling host idle time (during
+// which SSDs perform background garbage collection).
+func (c *CLAM) Elapse(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock.Advance(d)
+}

@@ -1,0 +1,245 @@
+package clam
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func openSmall(t testing.TB, kind DeviceKind) *CLAM {
+	t.Helper()
+	c, err := Open(Options{
+		Device:      kind,
+		FlashBytes:  16 << 20,
+		MemoryBytes: 4 << 20,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOpenRequiresFlash(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open accepted zero FlashBytes")
+	}
+}
+
+func TestOpenAllDeviceKinds(t *testing.T) {
+	for _, kind := range []DeviceKind{IntelSSD, TranscendSSD, FlashChip, MagneticDisk} {
+		c, err := Open(Options{Device: kind, FlashBytes: 16 << 20, MemoryBytes: 4 << 20})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := c.Insert(1, 2); err != nil {
+			t.Fatalf("%v insert: %v", kind, err)
+		}
+		v, ok, err := c.Lookup(1)
+		if err != nil || !ok || v != 2 {
+			t.Fatalf("%v lookup: %d %v %v", kind, v, ok, err)
+		}
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	names := map[DeviceKind]string{
+		IntelSSD: "ssd-intel", TranscendSSD: "ssd-transcend",
+		FlashChip: "flash-chip", MagneticDisk: "disk",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestTuningMatchesPaperShape(t *testing.T) {
+	// With the paper's ratios (M = F/8), §6.4 tuning should yield 128 KB
+	// buffers, k = 16 incarnations, and ~16 bloom bits per entry.
+	c, err := Open(Options{Device: IntelSSD, FlashBytes: 128 << 20, MemoryBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Core().Config()
+	if cfg.BufferBytes != 128<<10 {
+		t.Errorf("BufferBytes = %d, want 128KB", cfg.BufferBytes)
+	}
+	if cfg.NumIncarnations != 16 {
+		t.Errorf("NumIncarnations = %d, want 16", cfg.NumIncarnations)
+	}
+	if cfg.FilterBitsPerEntry < 8 || cfg.FilterBitsPerEntry > 32 {
+		t.Errorf("FilterBitsPerEntry = %d, want ≈16", cfg.FilterBitsPerEntry)
+	}
+	// The derived configuration must cover the flash exactly or less.
+	used := int64(cfg.NumSuperTables()) * int64(cfg.NumIncarnations) * int64(cfg.BufferBytes)
+	if used > 128<<20 {
+		t.Errorf("configuration overcommits flash: %d > %d", used, 128<<20)
+	}
+}
+
+func TestChipDefaultsToBlockBuffer(t *testing.T) {
+	c, err := Open(Options{Device: FlashChip, FlashBytes: 16 << 20, MemoryBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Core().Config().BufferBytes; got != 128<<10 {
+		t.Fatalf("chip buffer = %d, want erase block 128KB", got)
+	}
+}
+
+func TestLatencyHistogramsPopulated(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	// Exceed the total buffer capacity so flushes reach the device.
+	for i := uint64(0); i < 50000; i++ {
+		if err := c.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5000; i++ {
+		c.Lookup(i * 3)
+	}
+	c.Delete(1)
+	st := c.Stats()
+	if st.InsertLatency.Count != 50000 || st.LookupLatency.Count != 5000 || st.DeleteLatency.Count != 1 {
+		t.Fatalf("histogram counts: %+v %+v %+v", st.InsertLatency, st.LookupLatency, st.DeleteLatency)
+	}
+	if st.InsertLatency.Mean <= 0 || st.LookupLatency.Mean <= 0 {
+		t.Fatal("zero mean latencies")
+	}
+	// Headline shape: inserts are microseconds, well under lookups with
+	// flash I/O in them.
+	if metrics.Ms(st.InsertLatency.Mean) > 0.05 {
+		t.Errorf("insert mean %.4f ms too high", metrics.Ms(st.InsertLatency.Mean))
+	}
+	if st.Device.Writes == 0 {
+		t.Error("no device writes recorded")
+	}
+	if st.Memory.Total() == 0 {
+		t.Error("no memory footprint")
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	c.Insert(10, 1)
+	c.Update(10, 2)
+	if v, ok, _ := c.Lookup(10); !ok || v != 2 {
+		t.Fatalf("update: %d %v", v, ok)
+	}
+	c.Delete(10)
+	if _, ok, _ := c.Lookup(10); ok {
+		t.Fatal("deleted key found")
+	}
+}
+
+func TestFlushQuiesces(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	c.Insert(5, 50)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Lookup(5); !ok || v != 50 {
+		t.Fatalf("post-flush lookup: %d %v", v, ok)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) << 32
+			for i := uint64(0); i < 2000; i++ {
+				if err := c.Insert(base+i, i); err != nil {
+					errs <- err
+					return
+				}
+				if _, _, err := c.Lookup(base + i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All goroutines' keys visible.
+	for g := 0; g < 8; g++ {
+		base := uint64(g) << 32
+		if _, ok, _ := c.Lookup(base + 1999); !ok {
+			t.Fatalf("goroutine %d keys lost", g)
+		}
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	c.Insert(1, 1)
+	c.ResetMetrics()
+	st := c.Stats()
+	if st.InsertLatency.Count != 0 || st.Core.Inserts != 0 {
+		t.Fatal("metrics not reset")
+	}
+}
+
+func TestElapseAdvancesClock(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	before := c.Clock().Now()
+	c.Elapse(time.Second)
+	if c.Clock().Now()-before != time.Second {
+		t.Fatal("Elapse did not advance the clock")
+	}
+}
+
+func TestPriorityPolicyThroughFacade(t *testing.T) {
+	c, err := Open(Options{
+		Device:      IntelSSD,
+		FlashBytes:  8 << 20,
+		MemoryBytes: 2 << 20,
+		Policy:      PriorityBased,
+		Retain:      func(k, v uint64) bool { return v > 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(1, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	for _, o := range []Options{
+		{Device: IntelSSD, FlashBytes: 8 << 20, MemoryBytes: 2 << 20, DisableBloom: true},
+		{Device: IntelSSD, FlashBytes: 8 << 20, MemoryBytes: 2 << 20, DisableBitslice: true},
+	} {
+		c, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 30000; i++ {
+			if err := c.Insert(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v, ok, _ := c.Lookup(29999); !ok || v != 29999 {
+			t.Fatal("ablated CLAM lost data")
+		}
+	}
+}
+
+func TestMemoryBudgetTooSmall(t *testing.T) {
+	// A memory budget smaller than one buffer cannot work.
+	_, err := Open(Options{Device: IntelSSD, FlashBytes: 1 << 30, MemoryBytes: 64 << 10})
+	if err == nil {
+		t.Fatal("accepted impossible memory budget")
+	}
+}

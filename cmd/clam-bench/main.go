@@ -1,0 +1,117 @@
+// Command clam-bench runs a configurable hash-table workload against a
+// CLAM and prints latency distributions, core counters and device
+// statistics — the tool behind ad-hoc exploration of the §7.2 design space.
+//
+// Example:
+//
+//	clam-bench -device ssd-transcend -flash 64 -mem 12 -ops 200000 \
+//	           -lsr 0.4 -lookups 0.5 -policy lru
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/clam"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	deviceFlag := flag.String("device", "ssd-intel", "ssd-intel, ssd-transcend, flash-chip, or disk")
+	flashMB := flag.Int64("flash", 64, "flash capacity in MB")
+	memMB := flag.Int64("mem", 12, "DRAM budget in MB")
+	ops := flag.Int("ops", 100000, "measured operations")
+	lsr := flag.Float64("lsr", 0.4, "target lookup success ratio")
+	lookups := flag.Float64("lookups", 0.5, "lookup fraction of the workload")
+	policyFlag := flag.String("policy", "fifo", "fifo, lru, or update")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var kind clam.DeviceKind
+	switch *deviceFlag {
+	case "ssd-intel":
+		kind = clam.IntelSSD
+	case "ssd-transcend":
+		kind = clam.TranscendSSD
+	case "flash-chip":
+		kind = clam.FlashChip
+	case "disk":
+		kind = clam.MagneticDisk
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *deviceFlag)
+		os.Exit(2)
+	}
+	var policy clam.Policy
+	switch *policyFlag {
+	case "fifo":
+		policy = clam.FIFO
+	case "lru":
+		policy = clam.LRU
+	case "update":
+		policy = clam.UpdateBased
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+
+	c, err := clam.Open(clam.Options{
+		Device:      kind,
+		FlashBytes:  *flashMB << 20,
+		MemoryBytes: *memMB << 20,
+		Policy:      policy,
+		Seed:        uint64(*seed),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	flashEntries := uint64(*flashMB) << 20 / 32
+	keyRange := workload.RangeForLSR(flashEntries, *lsr)
+	rng := rand.New(rand.NewSource(*seed))
+
+	warm := int(flashEntries * 5 / 4)
+	fmt.Printf("device=%s flash=%dMB mem=%dMB policy=%s | warm-up: %d inserts\n",
+		kind, *flashMB, *memMB, policy, warm)
+	for i := 0; i < warm; i++ {
+		if err := c.Insert(uint64(rng.Int63n(int64(keyRange)))+1, uint64(i)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	c.ResetMetrics()
+
+	for i := 0; i < *ops; i++ {
+		k := uint64(rng.Int63n(int64(keyRange))) + 1
+		if rng.Float64() < *lookups {
+			if _, _, err := c.Lookup(k); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := c.Insert(k, uint64(i)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	st := c.Stats()
+	fmt.Printf("\ninserts: %s\n", st.InsertLatency)
+	fmt.Printf("lookups: %s (hit rate %.2f)\n", st.LookupLatency, st.Core.HitRate())
+	fmt.Printf("core: flushes=%d evictions=%d flash-probes=%d spurious=%d\n",
+		st.Core.Flushes, st.Core.Evictions, st.Core.FlashProbes, st.Core.SpuriousProbes)
+	fmt.Printf("lookup flash-I/O histogram: ")
+	for i, c := range st.Core.LookupIOHist {
+		if c > 0 {
+			fmt.Printf("[%d io: %d] ", i, c)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("device: reads=%d writes=%d erases=%d moved=%d busy=%v\n",
+		st.Device.Reads, st.Device.Writes, st.Device.Erases, st.Device.PagesMoved, st.Device.BusyTime)
+	fmt.Printf("memory: buffers=%dKB bloom=%dKB total=%dKB\n",
+		st.Memory.BufferBytes>>10, st.Memory.BloomBytes>>10, st.Memory.Total()>>10)
+	_ = metrics.Ms
+}

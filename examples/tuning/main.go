@@ -1,0 +1,72 @@
+// Tuning example (§6.4): use the analytical cost model to size a CLAM —
+// optimal buffer allocation, Bloom filter memory for a latency target, and
+// the effect of buffer size on insertion cost — then open a CLAM with the
+// derived configuration and verify the predicted behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/clam"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const (
+		s     = 32.0 // effective bytes per entry
+		flash = int64(128) << 20
+	)
+	cr := costmodel.PageReadCost(costmodel.IntelSSDCosts())
+
+	// 1. How much memory should go to buffers? (Answer: B_opt, and not a
+	// byte more — extra DRAM belongs to Bloom filters.)
+	bopt := costmodel.OptimalBufferBytes(flash, s)
+	fmt.Printf("for F = %d MB: B_opt = %d KB of buffers\n", flash>>20, bopt>>10)
+
+	// 2. How much Bloom memory buys a 0.1 ms expected lookup overhead?
+	need := costmodel.RequiredBloomBytes(flash, s, cr, 100*time.Microsecond)
+	fmt.Printf("Bloom filters for 0.1 ms overhead: %d KB\n", need>>10)
+
+	// 3. What buffer size minimizes worst-case insert cost on a raw chip?
+	// (The erase block, per Figure 4b: below it, C3 valid-page copying
+	// dominates; above it, the flush itself grows.)
+	curve := costmodel.Figure4Curve(costmodel.ChipCosts(), s, 2<<20, true, 100)
+	best := costmodel.ArgminBuffer(curve)
+	fmt.Printf("chip worst-case insert minimized near B' = %.0f KB (erase block = 128 KB)\n\n", best.X/1024)
+
+	// 4. Open a CLAM with a memory budget and verify the derived geometry
+	// and the predicted lookup overhead.
+	c, err := clam.Open(clam.Options{
+		Device:      clam.IntelSSD,
+		FlashBytes:  flash,
+		MemoryBytes: 16 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := c.Core().Config()
+	fmt.Printf("derived: %d super tables × %d incarnations × %d KB buffers, %d bloom bits/entry\n",
+		cfg.NumSuperTables(), cfg.NumIncarnations, cfg.BufferBytes>>10, cfg.FilterBitsPerEntry)
+
+	// Fill past one eviction cycle, then measure misses (pure Bloom-filter
+	// work plus false-positive reads).
+	entries := flash / 32
+	for i := int64(0); i < entries*5/4; i++ {
+		if err := c.Insert(uint64(i)+1, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.ResetMetrics()
+	for i := 0; i < 50_000; i++ {
+		c.Lookup(uint64(i) + (1 << 60)) // guaranteed misses
+	}
+	st := c.Stats()
+	fmt.Printf("\nmeasured miss-lookup mean: %.4f ms (pure filter work)\n", metrics.Ms(st.LookupLatency.Mean))
+	fmt.Printf("spurious flash reads: %d in %d lookups (rate %.5f)\n",
+		st.Core.SpuriousProbes, st.Core.Lookups,
+		float64(st.Core.SpuriousProbes)/float64(st.Core.Lookups))
+	fmt.Println("(compare: the model's expected false-positive I/O overhead at this filter size)")
+}

@@ -1,0 +1,57 @@
+// WAN optimizer example (§8): replay a 50%-redundant object trace through
+// a CLAM-backed optimizer at several link speeds and watch the effective
+// bandwidth improvement hold up where a disk-based index would collapse.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/clam"
+	"repro/internal/vclock"
+	"repro/internal/wanopt"
+	"repro/internal/workload"
+)
+
+func main() {
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Objects:         30,
+		MeanObjectBytes: 512 << 10,
+		Redundancy:      0.5,
+		Seed:            7,
+	})
+	fmt.Printf("trace: %d objects, %.1f MB, %.0f%% redundant (ideal compression %.2fx)\n\n",
+		len(trace.Objects), float64(trace.TotalBytes)/(1<<20),
+		100*trace.MeasuredRedundancy(), 1/(1-trace.MeasuredRedundancy()))
+
+	fmt.Printf("%10s %22s %14s\n", "link", "bandwidth improvement", "compression")
+	for _, mbps := range []int64{10, 50, 100, 200} {
+		clock := vclock.New()
+		index, err := clam.Open(clam.Options{
+			Device:      clam.TranscendSSD, // the paper's low-end device
+			FlashBytes:  64 << 20,
+			MemoryBytes: 8 << 20,
+			Clock:       clock,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := wanopt.New(wanopt.Config{
+			Index:          index,
+			Clock:          clock,
+			LinkBitsPerSec: mbps * 1e6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := wanopt.RunThroughputTest(opt, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d Mbps %21.2fx %13.2fx\n",
+			mbps, res.Improvement(),
+			float64(res.RawBytes)/float64(res.CompressedBytes))
+	}
+	fmt.Println("\n(The paper's Figure 9: a Berkeley-DB index keeps up only below ~20 Mbps;")
+	fmt.Println(" the CLAM sustains near-ideal improvement through 100+ Mbps on the same SSD.)")
+}

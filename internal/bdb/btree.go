@@ -1,0 +1,312 @@
+package bdb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BTree is an on-device B+tree over (uint64 key → uint64 value) with 4 KB
+// nodes, the paper's second BDB baseline ("We also considered the B-Tree
+// index of BDB, but the performance was worse than the hash table",
+// §7.2.2). Inner nodes are cached in memory (as BDB's buffer pool would
+// keep them hot); leaves are read and written through to the device, so
+// every insert is again an in-place random page write — plus occasional
+// splits. Deletes are not implemented: the baseline exists for the
+// insert/lookup comparison, mirroring the paper's use.
+//
+// Node layout (4 KB):
+//
+//	[0]   kind (0 = leaf, 1 = inner)
+//	[1:3] count n
+//	leaf:  n × (key u64, value u64) pairs, sorted by key
+//	inner: n × (sepKey u64, child u64): child covers keys ≥ sepKey of the
+//	       previous separator; child[0]'s separator is the minimum key.
+type BTree struct {
+	dev      *device
+	root     int64
+	nextFree int64
+	total    int64
+	height   int
+	stats    Stats
+}
+
+const (
+	nodeHeader = 4
+	leafCap    = (pageSize - nodeHeader) / 16 // 255
+	innerCap   = (pageSize - nodeHeader) / 16
+)
+
+// NewBTree lays out an empty tree.
+func NewBTree(opts Options) (*BTree, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &BTree{
+		dev:      &device{dev: opts.Device, cache: newPageCache(opts.CachePages)},
+		root:     0,
+		nextFree: 1,
+		total:    opts.Device.Geometry().Capacity / pageSize,
+		height:   1,
+	}
+	// Initialize the root as an empty leaf.
+	p := make([]byte, pageSize)
+	setNode(p, 0, 0)
+	if err := t.dev.writePage(0, p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func setNode(p []byte, kind byte, n int) {
+	p[0] = kind
+	binary.LittleEndian.PutUint16(p[1:3], uint16(n))
+}
+
+func nodeKind(p []byte) byte { return p[0] }
+func nodeCount(p []byte) int { return int(binary.LittleEndian.Uint16(p[1:3])) }
+
+func nodePair(p []byte, i int) (uint64, uint64) {
+	off := nodeHeader + i*16
+	return binary.LittleEndian.Uint64(p[off:]), binary.LittleEndian.Uint64(p[off+8:])
+}
+
+func setNodePair(p []byte, i int, a, b uint64) {
+	off := nodeHeader + i*16
+	binary.LittleEndian.PutUint64(p[off:], a)
+	binary.LittleEndian.PutUint64(p[off+8:], b)
+}
+
+// search returns the index of the first pair with key ≥ k, in [0, n].
+func search(p []byte, k uint64) int {
+	lo, hi := 0, nodeCount(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		mk, _ := nodePair(p, mid)
+		if mk < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Stats returns operation counters.
+func (t *BTree) Stats() Stats { return t.stats }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+// Lookup returns the value stored under key.
+func (t *BTree) Lookup(key uint64) (uint64, bool, error) {
+	if key == 0 {
+		return 0, false, ErrZeroKey
+	}
+	t.stats.Lookups++
+	pageID := t.root
+	for {
+		p, err := t.dev.readPage(pageID)
+		if err != nil {
+			return 0, false, err
+		}
+		t.stats.PageReads++
+		if nodeKind(p) == 0 {
+			i := search(p, key)
+			if i < nodeCount(p) {
+				if k, v := nodePair(p, i); k == key {
+					t.stats.Hits++
+					return v, true, nil
+				}
+			}
+			return 0, false, nil
+		}
+		i := search(p, key)
+		// child i covers keys in [sep[i], sep[i+1]); search returns the
+		// first sep ≥ key, so step back unless it equals key.
+		if i == nodeCount(p) {
+			i--
+		} else if k, _ := nodePair(p, i); k != key && i > 0 {
+			i--
+		}
+		_, child := nodePair(p, i)
+		pageID = int64(child)
+	}
+}
+
+// insertResult propagates a split: the new right sibling and its first key.
+type insertResult struct {
+	split    bool
+	sepKey   uint64
+	newChild int64
+}
+
+// Insert stores (key, value), splitting nodes bottom-up as needed.
+func (t *BTree) Insert(key, value uint64) error {
+	if key == 0 {
+		return ErrZeroKey
+	}
+	t.stats.Inserts++
+	res, err := t.insertAt(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if !res.split {
+		return nil
+	}
+	// Grow a new root.
+	if t.nextFree >= t.total {
+		return ErrFull
+	}
+	oldRootCopyID := t.nextFree
+	t.nextFree++
+	oldRoot, err := t.dev.readPage(t.root)
+	if err != nil {
+		return err
+	}
+	cp := make([]byte, pageSize)
+	copy(cp, oldRoot)
+	if err := t.dev.writePage(oldRootCopyID, cp); err != nil {
+		return err
+	}
+	t.stats.PageWrites++
+	minKey := uint64(0)
+	if nodeCount(cp) > 0 {
+		minKey, _ = nodePair(cp, 0)
+	}
+	nr := make([]byte, pageSize)
+	setNode(nr, 1, 2)
+	setNodePair(nr, 0, minKey, uint64(oldRootCopyID))
+	setNodePair(nr, 1, res.sepKey, uint64(res.newChild))
+	t.stats.PageWrites++
+	t.height++
+	return t.dev.writePage(t.root, nr)
+}
+
+func (t *BTree) insertAt(pageID int64, key, value uint64) (insertResult, error) {
+	p, err := t.dev.readPage(pageID)
+	if err != nil {
+		return insertResult{}, err
+	}
+	t.stats.PageReads++
+	if nodeKind(p) == 0 {
+		return t.insertLeaf(pageID, p, key, value)
+	}
+	n := nodeCount(p)
+	i := search(p, key)
+	if i == n {
+		i--
+	} else if k, _ := nodePair(p, i); k != key && i > 0 {
+		i--
+	}
+	_, child := nodePair(p, i)
+	res, err := t.insertAt(int64(child), key, value)
+	if err != nil || !res.split {
+		return insertResult{}, err
+	}
+	// Insert the new separator positionally, directly after the child
+	// that split. (Binary search by key would be wrong here: child 0's
+	// separator can be stale-high, since keys smaller than every
+	// separator all descend into it.)
+	type sep struct{ k, c uint64 }
+	entries := make([]sep, 0, n+1)
+	for m := 0; m < n; m++ {
+		a, b := nodePair(p, m)
+		entries = append(entries, sep{a, b})
+	}
+	entries = append(entries[:i+1], append([]sep{{res.sepKey, uint64(res.newChild)}}, entries[i+1:]...)...)
+	if len(entries) <= innerCap {
+		for m, e := range entries {
+			setNodePair(p, m, e.k, e.c)
+		}
+		setNode(p, 1, len(entries))
+		t.stats.PageWrites++
+		return insertResult{}, t.dev.writePage(pageID, p)
+	}
+	// Split the inner node around the median.
+	if t.nextFree >= t.total {
+		return insertResult{}, ErrFull
+	}
+	rightID := t.nextFree
+	t.nextFree++
+	half := len(entries) / 2
+	for m := 0; m < half; m++ {
+		setNodePair(p, m, entries[m].k, entries[m].c)
+	}
+	setNode(p, 1, half)
+	right := make([]byte, pageSize)
+	for m := half; m < len(entries); m++ {
+		setNodePair(right, m-half, entries[m].k, entries[m].c)
+	}
+	setNode(right, 1, len(entries)-half)
+	t.stats.PageWrites += 2
+	if err := t.dev.writePage(pageID, p); err != nil {
+		return insertResult{}, err
+	}
+	if err := t.dev.writePage(rightID, right); err != nil {
+		return insertResult{}, err
+	}
+	return insertResult{split: true, sepKey: entries[half].k, newChild: rightID}, nil
+}
+
+func (t *BTree) insertLeaf(pageID int64, p []byte, key, value uint64) (insertResult, error) {
+	n := nodeCount(p)
+	i := search(p, key)
+	if i < n {
+		if k, _ := nodePair(p, i); k == key {
+			setNodePair(p, i, key, value)
+			t.stats.PageWrites++
+			return insertResult{}, t.dev.writePage(pageID, p)
+		}
+	}
+	if n < leafCap {
+		for m := n; m > i; m-- {
+			a, b := nodePair(p, m-1)
+			setNodePair(p, m, a, b)
+		}
+		setNodePair(p, i, key, value)
+		setNode(p, 0, n+1)
+		t.stats.PageWrites++
+		return insertResult{}, t.dev.writePage(pageID, p)
+	}
+	// Split the leaf.
+	if t.nextFree >= t.total {
+		return insertResult{}, ErrFull
+	}
+	rightID := t.nextFree
+	t.nextFree++
+	half := n / 2
+	right := make([]byte, pageSize)
+	setNode(right, 0, n-half)
+	for m := half; m < n; m++ {
+		a, b := nodePair(p, m)
+		setNodePair(right, m-half, a, b)
+	}
+	setNode(p, 0, half)
+	// Insert into the proper half.
+	rk, _ := nodePair(right, 0)
+	if key >= rk {
+		if _, err := t.insertLeaf(rightID, right, key, value); err != nil {
+			return insertResult{}, err
+		}
+	} else {
+		if _, err := t.insertLeaf(pageID, p, key, value); err != nil {
+			return insertResult{}, err
+		}
+	}
+	t.stats.PageWrites += 2
+	if err := t.dev.writePage(pageID, p); err != nil {
+		return insertResult{}, err
+	}
+	if err := t.dev.writePage(rightID, right); err != nil {
+		return insertResult{}, err
+	}
+	rk, _ = nodePair(right, 0)
+	return insertResult{split: true, sepKey: rk, newChild: rightID}, nil
+}
+
+var _ Index = (*BTree)(nil)
+
+// String describes the tree shape for debugging.
+func (t *BTree) String() string {
+	return fmt.Sprintf("btree{height=%d, pages=%d}", t.height, t.nextFree)
+}

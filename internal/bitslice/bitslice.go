@@ -1,0 +1,181 @@
+// Package bitslice implements the bit-sliced Bloom filter organization with
+// a sliding window described in §5.1.3 of the paper.
+//
+// A super table holds k incarnations plus the in-memory buffer, each with a
+// Bloom filter of m bits. Instead of storing k+1 separate filters, the bank
+// stores m *slices*: slice p concatenates bit p of every filter. A lookup
+// that probes h bit positions then retrieves h slices, ANDs them, and the
+// 1-bits of the result identify the incarnations that may contain the key —
+// h word operations instead of (k+1)·h bit probes.
+//
+// Eviction uses the paper's sliding window: each slice carries w = 64 extra
+// bits; the live window of k+1 bits slides one position per incarnation
+// rotation, and stale bits are zeroed one whole machine word at a time when
+// the window crosses a word boundary, so eviction costs O(m/k) amortized
+// word writes instead of O(m) bit writes.
+//
+// Window layout (positions are modulo the slice length L):
+//
+//	[s, s+k)   bits of the k incarnations, oldest at s, newest at s+k-1
+//	s+k        bit of the current buffer (staging column)
+//	[s+k+1, L) free zone of ≥ 64 bits being recycled
+package bitslice
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hashutil"
+)
+
+// Bank is a bit-sliced bank of k incarnation Bloom filters plus one staging
+// (buffer) filter. Not safe for concurrent use.
+type Bank struct {
+	k        int    // incarnations per super table
+	h        int    // hash functions per filter
+	m        uint64 // bits per filter (number of slices)
+	sliceLen int    // L: bits per slice, multiple of 64, ≥ k+1+64
+	words    int    // words per slice
+	slices   []uint64
+	start    int // s: window start bit position
+	scratch  []uint64
+}
+
+// NewBank creates a bank for k incarnations with m-bit filters and h hash
+// functions. k must be in [1, 64].
+func NewBank(m uint64, k, h int) *Bank {
+	if k < 1 || k > 64 {
+		panic(fmt.Sprintf("bitslice: k=%d out of range [1,64]", k))
+	}
+	if m == 0 || h < 1 {
+		panic("bitslice: non-positive filter parameters")
+	}
+	// L = k+1 live bits plus a free zone of at least one word, rounded up
+	// to whole words.
+	L := (k + 1 + 64 + 63) / 64 * 64
+	b := &Bank{
+		k:        k,
+		h:        h,
+		m:        m,
+		sliceLen: L,
+		words:    L / 64,
+		slices:   make([]uint64, int(m)*(L/64)),
+		scratch:  make([]uint64, 0, h),
+	}
+	return b
+}
+
+// K returns the number of incarnation columns.
+func (b *Bank) K() int { return b.k }
+
+// Hashes returns the number of hash functions per filter.
+func (b *Bank) Hashes() int { return b.h }
+
+// FilterBits returns m, the number of bits per filter.
+func (b *Bank) FilterBits() uint64 { return b.m }
+
+// MemoryBits returns the total memory consumed by the bank in bits
+// (including the sliding-window padding).
+func (b *Bank) MemoryBits() uint64 { return uint64(len(b.slices)) * 64 }
+
+// setBit sets bit `pos` of slice `row`.
+func (b *Bank) setBit(row uint64, pos int) {
+	idx := int(row)*b.words + pos/64
+	b.slices[idx] |= 1 << (pos % 64)
+}
+
+// getBit reads bit `pos` of slice `row`.
+func (b *Bank) getBit(row uint64, pos int) bool {
+	idx := int(row)*b.words + pos/64
+	return b.slices[idx]&(1<<(pos%64)) != 0
+}
+
+// AddStaging adds a pre-hashed key to the staging (buffer) filter.
+func (b *Bank) AddStaging(keyHash uint64) {
+	pos := (b.start + b.k) % b.sliceLen
+	b.scratch = hashutil.DoubleHash(keyHash, b.h, b.m, b.scratch[:0])
+	for _, row := range b.scratch {
+		b.setBit(row, pos)
+	}
+}
+
+// QueryStaging reports whether the staging filter may contain the key.
+func (b *Bank) QueryStaging(keyHash uint64) bool {
+	pos := (b.start + b.k) % b.sliceLen
+	b.scratch = hashutil.DoubleHash(keyHash, b.h, b.m, b.scratch[:0])
+	for _, row := range b.scratch {
+		if !b.getBit(row, pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// window extracts the k incarnation bits [start, start+k) of slice row as a
+// uint64 with bit j = window offset j (j=0 oldest ... k-1 newest).
+func (b *Bank) window(row uint64) uint64 {
+	base := int(row) * b.words
+	s := b.start
+	w0 := b.slices[base+s/64]
+	v := w0 >> (s % 64)
+	if rem := 64 - s%64; rem < 64 && b.k > rem {
+		// The window continues into the next word (possibly wrapping).
+		next := (s/64 + 1) % b.words
+		v |= b.slices[base+next] << rem
+	}
+	if b.k == 64 {
+		return v
+	}
+	return v & (1<<b.k - 1)
+}
+
+// Query returns a bitmask over the k incarnation columns: bit j set means
+// the incarnation at window offset j (0 = oldest position, k-1 = newest)
+// may contain the key. Columns that currently hold no incarnation are
+// all-zero and thus never match.
+func (b *Bank) Query(keyHash uint64) uint64 {
+	b.scratch = hashutil.DoubleHash(keyHash, b.h, b.m, b.scratch[:0])
+	mask := ^uint64(0)
+	if b.k < 64 {
+		mask = 1<<b.k - 1
+	}
+	for _, row := range b.scratch {
+		mask &= b.window(row)
+		if mask == 0 {
+			return 0
+		}
+	}
+	return mask
+}
+
+// Rotate slides the window one position: the staging column becomes the
+// newest incarnation, the oldest incarnation column falls out of the
+// window, and a fresh zeroed staging column takes its place.
+//
+// Per §5.1.3, stale bits are not cleared individually: when the window
+// start crosses a 64-bit word boundary, the vacated word of every slice is
+// reset with a single store.
+func (b *Bank) Rotate() {
+	b.start = (b.start + 1) % b.sliceLen
+	if b.start%64 != 0 {
+		return
+	}
+	// Clear the word the window just vacated; the window will not reach
+	// it again until it has wrapped past the ≥64-bit free zone.
+	vacated := (b.start/64 - 1 + b.words) % b.words
+	for row := 0; row < int(b.m); row++ {
+		b.slices[row*b.words+vacated] = 0
+	}
+}
+
+// MatchOffsets appends the window offsets of the set bits in mask to dst
+// (ascending, i.e. oldest first), using the precomputed-table technique the
+// paper describes (here: hardware ctz).
+func MatchOffsets(mask uint64, dst []int) []int {
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		dst = append(dst, j)
+		mask &= mask - 1
+	}
+	return dst
+}

@@ -1,0 +1,267 @@
+package bitslice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bloom"
+)
+
+// naiveBank is the straightforward implementation the bit-sliced bank must
+// be equivalent to: k+1 separate Bloom filters rotated on eviction.
+type naiveBank struct {
+	k       int
+	filters []*bloom.Filter // len k, oldest first; nil = empty column
+	staging *bloom.Filter
+	m       uint64
+	h       int
+}
+
+func newNaive(m uint64, k, h int) *naiveBank {
+	return &naiveBank{k: k, filters: make([]*bloom.Filter, k), staging: bloom.New(m, h), m: m, h: h}
+}
+
+func (n *naiveBank) AddStaging(kh uint64)        { n.staging.Add(kh) }
+func (n *naiveBank) QueryStaging(kh uint64) bool { return n.staging.MayContain(kh) }
+
+func (n *naiveBank) Rotate() {
+	copy(n.filters, n.filters[1:])
+	n.filters[n.k-1] = n.staging
+	n.staging = bloom.New(n.m, n.h)
+}
+
+func (n *naiveBank) Query(kh uint64) uint64 {
+	var mask uint64
+	for j, f := range n.filters {
+		if f != nil && f.MayContain(kh) {
+			mask |= 1 << j
+		}
+	}
+	return mask
+}
+
+func TestEquivalenceWithNaiveBank(t *testing.T) {
+	// Property: under an arbitrary interleaving of inserts and rotations,
+	// the bit-sliced bank answers every query identically to k+1 plain
+	// Bloom filters.
+	const (
+		m = 1 << 10
+		k = 16
+		h = 4
+	)
+	for seed := int64(0); seed < 5; seed++ {
+		bank := NewBank(m, k, h)
+		ref := newNaive(m, k, h)
+		rng := rand.New(rand.NewSource(seed))
+		var keys []uint64
+		for step := 0; step < 3000; step++ {
+			switch rng.Intn(10) {
+			case 0: // rotate (evict oldest, flush staging)
+				bank.Rotate()
+				ref.Rotate()
+			default:
+				kh := rng.Uint64()
+				keys = append(keys, kh)
+				bank.AddStaging(kh)
+				ref.AddStaging(kh)
+			}
+			// Check a recent key, a random key, and an old key.
+			probes := []uint64{rng.Uint64()}
+			if len(keys) > 0 {
+				probes = append(probes, keys[len(keys)-1], keys[rng.Intn(len(keys))])
+			}
+			for _, p := range probes {
+				if got, want := bank.Query(p), ref.Query(p); got != want {
+					t.Fatalf("seed %d step %d: Query(%#x) = %#x, want %#x", seed, step, p, got, want)
+				}
+				if got, want := bank.QueryStaging(p), ref.QueryStaging(p); got != want {
+					t.Fatalf("seed %d step %d: QueryStaging(%#x) = %v, want %v", seed, step, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLongRotationWrapsWindow(t *testing.T) {
+	// Rotate far more times than the slice length to exercise wrap-around
+	// and the word-batched clearing, verifying equivalence throughout.
+	const (
+		m = 256
+		k = 16
+		h = 3
+	)
+	bank := NewBank(m, k, h)
+	ref := newNaive(m, k, h)
+	rng := rand.New(rand.NewSource(42))
+	for rot := 0; rot < 1000; rot++ {
+		for i := 0; i < 8; i++ {
+			kh := rng.Uint64()
+			bank.AddStaging(kh)
+			ref.AddStaging(kh)
+		}
+		bank.Rotate()
+		ref.Rotate()
+		for i := 0; i < 4; i++ {
+			p := rng.Uint64()
+			if got, want := bank.Query(p), ref.Query(p); got != want {
+				t.Fatalf("rotation %d: Query(%#x) = %#x, want %#x", rot, p, got, want)
+			}
+		}
+	}
+}
+
+func TestFreshKeyFoundInNewestColumn(t *testing.T) {
+	bank := NewBank(1<<12, 16, 4)
+	bank.AddStaging(0xABCD)
+	if !bank.QueryStaging(0xABCD) {
+		t.Fatal("staging lost the key")
+	}
+	if bank.Query(0xABCD) != 0 {
+		// Might be a false positive, but with an empty bank all columns
+		// are zero, so this must be exact.
+		t.Fatal("key visible in incarnations before rotation")
+	}
+	bank.Rotate()
+	mask := bank.Query(0xABCD)
+	if mask&(1<<15) == 0 {
+		t.Fatalf("key not in newest column after rotation: mask %#x", mask)
+	}
+	if bank.QueryStaging(0xABCD) {
+		t.Fatal("fresh staging column not empty (false positive impossible on empty filter)")
+	}
+}
+
+func TestKeyAgesOutAfterKRotations(t *testing.T) {
+	const k = 8
+	bank := NewBank(1<<12, k, 4)
+	bank.AddStaging(0x1234)
+	bank.Rotate()
+	for i := 0; i < k-1; i++ {
+		if bank.Query(0x1234) == 0 {
+			t.Fatalf("key lost after only %d of %d rotations", i+1, k)
+		}
+		bank.Rotate()
+	}
+	// One more rotation evicts it.
+	bank.Rotate()
+	if bank.Query(0x1234) != 0 {
+		t.Fatal("key still visible after k+1 rotations (stale bits not retired)")
+	}
+}
+
+func TestMaskOffsetsShiftWithRotation(t *testing.T) {
+	const k = 16
+	bank := NewBank(1<<12, k, 4)
+	bank.AddStaging(7)
+	bank.Rotate() // key now at offset k-1 (newest)
+	for age := 1; age < k; age++ {
+		bank.Rotate()
+		mask := bank.Query(7)
+		want := uint64(1) << (k - 1 - age)
+		if mask&want == 0 {
+			t.Fatalf("after %d rotations mask = %#x, want bit %d", age+1, mask, k-1-age)
+		}
+	}
+}
+
+func TestK64Boundary(t *testing.T) {
+	bank := NewBank(512, 64, 3)
+	bank.AddStaging(99)
+	bank.Rotate()
+	if mask := bank.Query(99); mask&(1<<63) == 0 {
+		t.Fatalf("k=64: mask = %#x, want bit 63", mask)
+	}
+	for i := 0; i < 64; i++ {
+		bank.Rotate()
+	}
+	if mask := bank.Query(99); mask != 0 {
+		t.Fatalf("k=64: key survived 65 rotations: %#x", mask)
+	}
+}
+
+func TestK1Boundary(t *testing.T) {
+	bank := NewBank(128, 1, 2)
+	bank.AddStaging(5)
+	bank.Rotate()
+	if bank.Query(5)&1 == 0 {
+		t.Fatal("k=1: key not found")
+	}
+	bank.Rotate()
+	if bank.Query(5) != 0 {
+		t.Fatal("k=1: key survived eviction")
+	}
+}
+
+func TestMatchOffsets(t *testing.T) {
+	got := MatchOffsets(0b1010010, nil)
+	want := []int{1, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("MatchOffsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatchOffsets = %v, want %v", got, want)
+		}
+	}
+	if out := MatchOffsets(0, nil); len(out) != 0 {
+		t.Fatal("MatchOffsets(0) should be empty")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	bank := NewBank(1000, 16, 5)
+	if bank.K() != 16 || bank.Hashes() != 5 || bank.FilterBits() != 1000 {
+		t.Fatal("accessors wrong")
+	}
+	if bank.MemoryBits() == 0 {
+		t.Fatal("memory accounting missing")
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewBank(0, 16, 4) },
+		func() { NewBank(100, 0, 4) },
+		func() { NewBank(100, 65, 4) },
+		func() { NewBank(100, 16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBitslicedQuery(b *testing.B) {
+	bank := NewBank(1<<16, 16, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4096; j++ {
+			bank.AddStaging(rng.Uint64())
+		}
+		bank.Rotate()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Query(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkNaiveQuery(b *testing.B) {
+	ref := newNaive(1<<16, 16, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4096; j++ {
+			ref.AddStaging(rng.Uint64())
+		}
+		ref.Rotate()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Query(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

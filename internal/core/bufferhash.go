@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitslice"
+	"repro/internal/cuckoo"
+	"repro/internal/hashutil"
+	"repro/internal/storage"
+)
+
+// LookupResult reports the outcome of a lookup and its flash I/O footprint,
+// the quantity behind Table 2 of the paper.
+type LookupResult struct {
+	Value uint64
+	Found bool
+	// FlashReads is the number of incarnation pages read from flash.
+	FlashReads int
+	// Spurious counts reads that found nothing (Bloom false positives).
+	Spurious int
+}
+
+// BufferHash is the partitioned data structure of §5.2: 2^k1 super tables,
+// each owning a buffer, k incarnations and Bloom filters. Not safe for
+// concurrent use.
+type BufferHash struct {
+	cfg    Config
+	layout Layout
+	parts  []*superTable
+	params []cuckoo.Params // per-partition cuckoo parameters
+	stats  Stats
+
+	// Shared-log layout state (§5.2: "uses the entire SSD as a single
+	// circular list"): slot i holds the image written at seq slotSeq[i] by
+	// partition slotOwner[i].
+	slotOwner []int32
+	slotSeq   []uint64
+	nextSlot  int64
+	seq       uint64
+
+	imageSize int
+	scratch   []byte
+	pageBuf   []byte
+}
+
+// New builds a BufferHash over the configured device. The configuration is
+// validated eagerly.
+func New(cfg Config) (*BufferHash, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := &BufferHash{
+		cfg:       cfg,
+		layout:    cfg.layout(),
+		imageSize: cfg.BufferBytes,
+	}
+	nt := cfg.NumSuperTables()
+	b.params = make([]cuckoo.Params, nt)
+	pageSlots := cfg.Device.Geometry().PageSize / hashutil.EntrySize
+	for i := range b.params {
+		b.params[i] = cuckoo.Params{
+			NSlots:    cfg.BufferBytes / hashutil.EntrySize,
+			PageSlots: pageSlots,
+			Seed:      hashutil.Hash64Seed(uint64(i), cfg.Seed),
+		}
+		if err := b.params[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	b.parts = make([]*superTable, nt)
+	for i := range b.parts {
+		b.parts[i] = newSuperTable(b, i)
+	}
+	if b.layout == SharedLog {
+		slots := int64(nt) * int64(cfg.NumIncarnations)
+		b.slotOwner = make([]int32, slots)
+		b.slotSeq = make([]uint64, slots)
+		for i := range b.slotOwner {
+			b.slotOwner[i] = -1
+		}
+	}
+	b.scratch = make([]byte, b.imageSize)
+	b.pageBuf = make([]byte, cfg.Device.Geometry().PageSize)
+	return b, nil
+}
+
+// Config returns the (validated) configuration.
+func (b *BufferHash) Config() Config { return b.cfg }
+
+// tableParams returns the cuckoo parameters of partition idx.
+func (b *BufferHash) tableParams(idx int) cuckoo.Params { return b.params[idx] }
+
+// newSliceBank builds the bit-sliced Bloom bank for one super table.
+func (b *BufferHash) newSliceBank(m uint64, h int) filterBank {
+	return bitslice.NewBank(m, b.cfg.NumIncarnations, h)
+}
+
+// scratchImage returns the shared serialization buffer.
+func (b *BufferHash) scratchImage() []byte { return b.scratch }
+
+// chargeCPU advances the virtual clock by a CPU cost.
+func (b *BufferHash) chargeCPU(d time.Duration) {
+	if d > 0 {
+		b.cfg.Clock.Advance(d)
+	}
+}
+
+// route hashes a user key to (super table, in-partition key). The first k1
+// bits of the hash select the partition; the rest form the in-partition key
+// (§5.2), normalized to be non-zero for the cuckoo tables.
+func (b *BufferHash) route(key uint64) (*superTable, uint64) {
+	h := hashutil.Mix64(key ^ hashutil.Mix64(b.cfg.Seed))
+	p, rest := hashutil.Split(h, b.cfg.PartitionBits)
+	if rest == 0 {
+		rest = 1
+	}
+	return b.parts[p], rest
+}
+
+// Insert adds or updates a (key, value) mapping.
+func (b *BufferHash) Insert(key, value uint64) error {
+	st, kh := b.route(key)
+	b.stats.Inserts++
+	return st.insert(kh, value)
+}
+
+// Update is insertion with lazy-update semantics (§5.1.1): the new value
+// shadows older versions because lookups probe incarnations newest-first.
+// It is an alias of Insert; both are provided to mirror the paper's API.
+func (b *BufferHash) Update(key, value uint64) error {
+	return b.Insert(key, value)
+}
+
+// Delete lazily removes a key (§5.1.1): it is dropped from the buffer if
+// still there and recorded in the in-memory delete list; flash space is
+// reclaimed at eviction time.
+func (b *BufferHash) Delete(key uint64) error {
+	st, kh := b.route(key)
+	b.stats.Deletes++
+	st.del(kh)
+	return nil
+}
+
+// Lookup returns the latest value for key.
+func (b *BufferHash) Lookup(key uint64) (LookupResult, error) {
+	st, kh := b.route(key)
+	res, err := st.lookup(kh)
+	if err != nil {
+		return res, err
+	}
+	b.stats.recordLookup(res)
+	return res, nil
+}
+
+// Flush forces every super table with buffered entries to write its buffer
+// to flash. Mainly useful in tests and when quiescing.
+func (b *BufferHash) Flush() error {
+	for _, st := range b.parts {
+		if st.buf.Len() > 0 {
+			if err := st.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// probeIncarnation reads the single flash page that can hold kh within the
+// incarnation image (§5.1.1) and searches it.
+func (b *BufferHash) probeIncarnation(st *superTable, inc incarnation, kh uint64) (uint64, bool, error) {
+	params := b.params[st.idx]
+	page := params.PageIndex(kh)
+	off, n := params.PageByteRange(page)
+	buf := b.pageBuf[:n]
+	if _, err := b.cfg.Device.ReadAt(buf, inc.addr+int64(off)); err != nil {
+		return 0, false, fmt.Errorf("core: incarnation read: %w", err)
+	}
+	b.stats.FlashProbes++
+	v, ok := params.LookupInPage(buf, kh)
+	return v, ok, nil
+}
+
+// readImage reads a whole incarnation image (partial-discard scan path).
+func (b *BufferHash) readImage(addr int64) ([]byte, error) {
+	img := make([]byte, b.imageSize)
+	if _, err := b.cfg.Device.ReadAt(img, addr); err != nil {
+		return nil, fmt.Errorf("core: image read: %w", err)
+	}
+	return img, nil
+}
+
+// placeImage allocates the flash address for a new incarnation of st.
+func (b *BufferHash) placeImage(st *superTable) (addr int64, seq uint64, err error) {
+	b.seq++
+	switch b.layout {
+	case SharedLog:
+		slot := b.nextSlot
+		b.nextSlot = (b.nextSlot + 1) % int64(len(b.slotOwner))
+		// Reclaim the slot from its previous owner: global FIFO eviction.
+		if prev := b.slotOwner[slot]; prev >= 0 {
+			b.parts[prev].evictOldestExternal(b.slotSeq[slot])
+		}
+		b.slotOwner[slot] = int32(st.idx)
+		b.slotSeq[slot] = b.seq
+		return slot * int64(b.imageSize), b.seq, nil
+	case PartitionedRegions:
+		k := int64(b.cfg.NumIncarnations)
+		region := int64(st.idx) * k * int64(b.imageSize)
+		slot := int64(st.flushGen) % k
+		addr = region + slot*int64(b.imageSize)
+		// Recycle the region circularly. Raw flash requires an erase
+		// before rewrite once the ring has wrapped; SSDs and disks are
+		// simply overwritten in place (the paper's file-per-partition
+		// implementation, §7.1).
+		if st.flushGen >= uint64(k) {
+			if eraser, ok := b.cfg.Device.(storage.Eraser); ok {
+				if _, err := eraser.Erase(addr, int64(b.imageSize)); err != nil {
+					return 0, 0, fmt.Errorf("core: region erase: %w", err)
+				}
+			}
+		}
+		return addr, b.seq, nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown layout %d", b.layout)
+	}
+}
+
+// Len returns the total number of entries currently buffered in DRAM (the
+// in-flash population is bounded by super tables × k × entries/incarnation).
+func (b *BufferHash) Len() int {
+	n := 0
+	for _, st := range b.parts {
+		n += st.buf.Len()
+	}
+	return n
+}
+
+// MemoryFootprint reports the DRAM consumed by the structure, split by
+// component (used to validate the §6.4 memory budget).
+type MemoryFootprint struct {
+	BufferBytes     int64 // all cuckoo buffers
+	BloomBytes      int64 // all filter banks (incl. sliding-window padding)
+	DeleteListBytes int64 // approximate
+	MetadataBytes   int64 // incarnation bookkeeping
+}
+
+// Total returns the footprint sum.
+func (m MemoryFootprint) Total() int64 {
+	return m.BufferBytes + m.BloomBytes + m.DeleteListBytes + m.MetadataBytes
+}
+
+// MemoryFootprint computes the current DRAM footprint.
+func (b *BufferHash) MemoryFootprint() MemoryFootprint {
+	var m MemoryFootprint
+	for _, st := range b.parts {
+		m.BufferBytes += int64(b.cfg.BufferBytes)
+		if st.bank != nil {
+			m.BloomBytes += int64(st.bank.MemoryBits() / 8)
+		}
+		m.DeleteListBytes += int64(len(st.deleteList)) * 16
+		m.MetadataBytes += int64(len(st.incs)) * 16
+	}
+	return m
+}
+
+// Stats returns a snapshot of operation counters.
+func (b *BufferHash) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters (latency histograms are owned by callers).
+func (b *BufferHash) ResetStats() { b.stats = Stats{} }

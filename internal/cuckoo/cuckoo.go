@@ -1,0 +1,327 @@
+// Package cuckoo implements the hash table used for BufferHash buffers and
+// their on-flash incarnation images: cuckoo hashing with two hash functions
+// (§7.1: "The hash table in a buffer is implemented using Cuckoo hashing
+// with two hash functions"), fixed 16-byte entries, and utilization capped
+// at 50% (§7.1.1).
+//
+// Buckets hold four slots, following the bucketized variant of the paper's
+// own citation [25] (Erlingsson, Manasse, McSherry, "A cool and practical
+// alternative to traditional hash tables"); with two choices of 4-slot
+// buckets the load threshold is ≈97%, so the 50% utilization cap leaves
+// enormous headroom and inserts essentially never fail before the cap.
+//
+// The table is page-local: a key's page is chosen by one hash, and both of
+// its candidate buckets lie within that page. When a buffer is flushed to
+// flash verbatim, a later lookup therefore reads exactly one flash page per
+// incarnation probed — the paper's "only the relevant part of the
+// incarnation (e.g., a flash page) can be read directly" (§5.1.1).
+// Displacement chains never cross pages, so the property is preserved under
+// cuckoo kicks.
+//
+// A slot is empty iff its key field is zero; callers must normalize keys to
+// be non-zero (hashutil keys are full-avalanche hashes, and the core
+// package maps 0 to 1).
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashutil"
+)
+
+// Table errors.
+var (
+	// ErrFull is returned when the table reached its utilization cap or a
+	// displacement chain could not be resolved; BufferHash reacts by
+	// flushing the buffer.
+	ErrFull = errors.New("cuckoo: table full")
+	// ErrZeroKey is returned for the reserved empty-slot key.
+	ErrZeroKey = errors.New("cuckoo: zero key is reserved")
+)
+
+// MaxLoad is the utilization cap: a table with n slots accepts at most
+// n·MaxLoad entries (§7.1.1 uses 50% to bound collisions and avoid cuckoo
+// rebuilds).
+const MaxLoad = 0.5
+
+// BucketSlots is the number of slots per cuckoo bucket.
+const BucketSlots = 4
+
+// maxKicks bounds a displacement chain within one page.
+const maxKicks = 64
+
+// Params are the structural parameters of a table. Incarnation images can
+// only be searched with the same Params used to build them, so super tables
+// persist Params alongside each incarnation's Bloom filter.
+type Params struct {
+	NSlots    int    // total slots; multiple of PageSlots
+	PageSlots int    // slots per locality page; multiple of BucketSlots
+	Seed      uint64 // base seed for the hash family
+}
+
+// Validate checks structural invariants.
+func (p Params) Validate() error {
+	if p.NSlots <= 0 || p.PageSlots <= 0 {
+		return fmt.Errorf("cuckoo: non-positive sizes %+v", p)
+	}
+	if p.NSlots%p.PageSlots != 0 {
+		return fmt.Errorf("cuckoo: NSlots %d not a multiple of PageSlots %d", p.NSlots, p.PageSlots)
+	}
+	if p.PageSlots%BucketSlots != 0 || p.PageSlots/BucketSlots < 2 {
+		return fmt.Errorf("cuckoo: PageSlots %d must hold at least two %d-slot buckets", p.PageSlots, BucketSlots)
+	}
+	return nil
+}
+
+// NPages returns the number of locality pages.
+func (p Params) NPages() int { return p.NSlots / p.PageSlots }
+
+// MaxItems returns the entry capacity under MaxLoad.
+func (p Params) MaxItems() int { return int(float64(p.NSlots) * MaxLoad) }
+
+// ImageSize returns the serialized size in bytes.
+func (p Params) ImageSize() int { return p.NSlots * hashutil.EntrySize }
+
+// PageIndex returns the locality page of a key.
+func (p Params) PageIndex(key uint64) int {
+	return int(hashutil.Hash64Seed(key, p.Seed) % uint64(p.NPages()))
+}
+
+// bucketCandidates returns the two candidate buckets of key within its
+// page, as in-page bucket indexes. They are always distinct.
+func (p Params) bucketCandidates(key uint64) (int, int) {
+	nb := uint64(p.PageSlots / BucketSlots)
+	b1 := int(hashutil.Hash64Seed(key, p.Seed+1) % nb)
+	b2 := int(hashutil.Hash64Seed(key, p.Seed+2) % nb)
+	if b1 == b2 {
+		b2 = (b2 + 1) % int(nb)
+	}
+	return b1, b2
+}
+
+// Table is an in-memory cuckoo hash table. Not safe for concurrent use.
+type Table struct {
+	params Params
+	keys   []uint64
+	values []uint64
+	count  int
+}
+
+// New creates an empty table. It panics on invalid Params (configurations
+// are static).
+func New(params Params) *Table {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{
+		params: params,
+		keys:   make([]uint64, params.NSlots),
+		values: make([]uint64, params.NSlots),
+	}
+}
+
+// Params returns the table's structural parameters.
+func (t *Table) Params() Params { return t.params }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.count }
+
+// Cap returns the entry capacity (NSlots·MaxLoad).
+func (t *Table) Cap() int { return t.params.MaxItems() }
+
+// Full reports whether the table is at capacity.
+func (t *Table) Full() bool { return t.count >= t.Cap() }
+
+// findSlot returns the slot index holding key, or -1.
+func (t *Table) findSlot(key uint64) int {
+	base := t.params.PageIndex(key) * t.params.PageSlots
+	b1, b2 := t.params.bucketCandidates(key)
+	for _, b := range [2]int{b1, b2} {
+		s := base + b*BucketSlots
+		for i := 0; i < BucketSlots; i++ {
+			if t.keys[s+i] == key {
+				return s + i
+			}
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	if s := t.findSlot(key); s >= 0 {
+		return t.values[s], true
+	}
+	return 0, false
+}
+
+// emptyIn returns an empty slot in the in-page bucket b, or -1.
+func (t *Table) emptyIn(base, b int) int {
+	s := base + b*BucketSlots
+	for i := 0; i < BucketSlots; i++ {
+		if t.keys[s+i] == 0 {
+			return s + i
+		}
+	}
+	return -1
+}
+
+// Insert stores (key, value), overwriting any existing value for key.
+// It returns ErrFull if the table is at its utilization cap or the
+// displacement chain within the key's page could not be resolved; in either
+// case the table is unchanged.
+func (t *Table) Insert(key, value uint64) error {
+	if key == 0 {
+		return ErrZeroKey
+	}
+	if s := t.findSlot(key); s >= 0 {
+		t.values[s] = value
+		return nil
+	}
+	if t.count >= t.Cap() {
+		return ErrFull
+	}
+	base := t.params.PageIndex(key) * t.params.PageSlots
+	b1, b2 := t.params.bucketCandidates(key)
+	if s := t.emptyIn(base, b1); s >= 0 {
+		t.keys[s], t.values[s] = key, value
+		t.count++
+		return nil
+	}
+	if s := t.emptyIn(base, b2); s >= 0 {
+		t.keys[s], t.values[s] = key, value
+		t.count++
+		return nil
+	}
+	// Displace within the page, recording the path so a failed walk can be
+	// unwound exactly (the table must be unchanged on ErrFull).
+	var path [maxKicks]int
+	curKey, curVal := key, value
+	bucket := b1
+	for kick := 0; kick < maxKicks; kick++ {
+		// Deterministic victim rotation within the bucket.
+		s := base + bucket*BucketSlots + kick%BucketSlots
+		curKey, t.keys[s] = t.keys[s], curKey
+		curVal, t.values[s] = t.values[s], curVal
+		path[kick] = s
+		// Move the displaced entry toward its alternate bucket.
+		a1, a2 := t.params.bucketCandidates(curKey)
+		alt := a1
+		if alt == bucket {
+			alt = a2
+		}
+		if es := t.emptyIn(base, alt); es >= 0 {
+			t.keys[es], t.values[es] = curKey, curVal
+			t.count++
+			return nil
+		}
+		bucket = alt
+	}
+	// Unwind: swapping back in reverse order is the exact inverse of the
+	// walk, leaving the table as it was and curKey == key.
+	for i := maxKicks - 1; i >= 0; i-- {
+		s := path[i]
+		curKey, t.keys[s] = t.keys[s], curKey
+		curVal, t.values[s] = t.values[s], curVal
+	}
+	if curKey != key {
+		panic("cuckoo: unwind failed to restore the original key")
+	}
+	return ErrFull
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	if key == 0 {
+		return false
+	}
+	if s := t.findSlot(key); s >= 0 {
+		t.keys[s], t.values[s] = 0, 0
+		t.count--
+		return true
+	}
+	return false
+}
+
+// Reset clears the table for reuse.
+func (t *Table) Reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+		t.values[i] = 0
+	}
+	t.count = 0
+}
+
+// Iterate calls fn for every entry until fn returns false.
+func (t *Table) Iterate(fn func(key, value uint64) bool) {
+	for i, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		if !fn(k, t.values[i]) {
+			return
+		}
+	}
+}
+
+// Serialize writes the table as a flat slot image into dst, which must be
+// at least Params().ImageSize() bytes. Slot i occupies bytes
+// [i·16, i·16+16); empty slots are all-zero.
+func (t *Table) Serialize(dst []byte) {
+	if len(dst) < t.params.ImageSize() {
+		panic(fmt.Sprintf("cuckoo: serialize buffer %d < image size %d", len(dst), t.params.ImageSize()))
+	}
+	for i := range t.keys {
+		hashutil.PutEntry(dst[i*hashutil.EntrySize:], t.keys[i], t.values[i])
+	}
+}
+
+// PageByteRange returns the byte range [off, off+n) that page holds within
+// a serialized image.
+func (p Params) PageByteRange(page int) (off, n int) {
+	n = p.PageSlots * hashutil.EntrySize
+	return page * n, n
+}
+
+// LookupInPage searches a serialized page image (PageSlots·16 bytes, as
+// produced by Serialize for one page) for key, using the candidate buckets
+// defined by Params. This is the incarnation lookup path: the caller reads
+// just this page from flash.
+func (p Params) LookupInPage(pageImage []byte, key uint64) (uint64, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	b1, b2 := p.bucketCandidates(key)
+	for _, b := range [2]int{b1, b2} {
+		s := b * BucketSlots
+		for i := 0; i < BucketSlots; i++ {
+			k, v := hashutil.GetEntry(pageImage[(s+i)*hashutil.EntrySize:])
+			if k == key {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DecodeImage parses a full serialized image, calling fn for every non-empty
+// entry (used by partial-discard eviction scans, §5.1.2).
+func (p Params) DecodeImage(image []byte, fn func(key, value uint64) bool) {
+	n := len(image) / hashutil.EntrySize
+	if n > p.NSlots {
+		n = p.NSlots
+	}
+	for i := 0; i < n; i++ {
+		k, v := hashutil.GetEntry(image[i*hashutil.EntrySize:])
+		if k == 0 {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package dirsvc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/clam"
+	"repro/internal/vclock"
+)
+
+func newDir(t testing.TB) (*Directory, *vclock.Clock) {
+	t.Helper()
+	clock := vclock.New()
+	c, err := clam.Open(clam.Options{
+		Device: clam.IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, clock), clock
+}
+
+func TestRegisterResolve(t *testing.T) {
+	d, _ := newDir(t)
+	if err := d.Register([]byte("chunk-abc"), 42); err != nil {
+		t.Fatal(err)
+	}
+	host, ok, err := d.Resolve([]byte("chunk-abc"))
+	if err != nil || !ok || host != 42 {
+		t.Fatalf("Resolve = %d %v %v", host, ok, err)
+	}
+	if _, ok, _ := d.Resolve([]byte("chunk-xyz")); ok {
+		t.Fatal("phantom resolution")
+	}
+}
+
+func TestReRegistrationWins(t *testing.T) {
+	d, _ := newDir(t)
+	d.Register([]byte("n"), 1)
+	d.Register([]byte("n"), 2)
+	host, ok, _ := d.Resolve([]byte("n"))
+	if !ok || host != 2 {
+		t.Fatalf("Resolve = %d %v, want newest host 2", host, ok)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	d, _ := newDir(t)
+	d.Register([]byte("gone"), 7)
+	if err := d.Unregister([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Resolve([]byte("gone")); ok {
+		t.Fatal("unregistered name still resolves")
+	}
+	// Re-registration after departure works.
+	d.Register([]byte("gone"), 9)
+	if host, ok, _ := d.Resolve([]byte("gone")); !ok || host != 9 {
+		t.Fatal("re-registration failed")
+	}
+}
+
+func TestChurnAtScale(t *testing.T) {
+	d, _ := newDir(t)
+	// Register 30k names across 100 hosts, then churn.
+	name := func(i int) []byte { return []byte(fmt.Sprintf("content-%d", i)) }
+	for i := 0; i < 30000; i++ {
+		if err := d.Register(name(i), HostID(i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		if i%3 == 0 {
+			d.Unregister(name(i))
+		} else {
+			d.Register(name(i), HostID(i%100+200))
+		}
+	}
+	missing, stale := 0, 0
+	for i := 0; i < 5000; i++ {
+		host, ok, err := d.Resolve(name(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if ok {
+				stale++
+			}
+			continue
+		}
+		if !ok {
+			missing++
+		} else if host != HostID(i%100+200) {
+			stale++
+		}
+	}
+	if missing > 0 || stale > 0 {
+		t.Fatalf("%d missing, %d stale resolutions after churn", missing, stale)
+	}
+	st := d.Stats()
+	if st.Registers == 0 || st.Resolves == 0 || st.Unregisters == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if d.MeanOpLatency() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	t.Logf("directory mean op latency: %v over %d ops",
+		d.MeanOpLatency(), st.Registers+st.Resolves+st.Unregisters)
+}
+
+func TestStatsHitRate(t *testing.T) {
+	d, _ := newDir(t)
+	d.Register([]byte("x"), 1)
+	d.Resolve([]byte("x"))
+	d.Resolve([]byte("y"))
+	st := d.Stats()
+	if st.Resolves != 2 || st.ResolveHits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMeanLatencyEmptyDirectory(t *testing.T) {
+	d, _ := newDir(t)
+	if d.MeanOpLatency() != 0 {
+		t.Fatal("empty directory should report zero latency")
+	}
+}

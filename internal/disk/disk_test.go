@@ -1,0 +1,178 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+func newDisk(capacity int64) (*Disk, *vclock.Clock) {
+	clock := vclock.New()
+	return New(Hitachi7K80(), capacity, clock), clock
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func TestRoundTrip(t *testing.T) {
+	d, _ := newDisk(1 << 20)
+	data := []byte("spinning rust")
+	if _, err := d.WriteAt(data, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	d, _ := newDisk(1000) // rounds up to one sector
+	g := d.Geometry()
+	if g.Capacity != 4096 || g.PageSize != 4096 || g.BlockSize != 0 {
+		t.Fatalf("geometry = %+v", g)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d, _ := newDisk(1 << 20)
+	if _, err := d.ReadAt(make([]byte, 10), 1<<20); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRandomAccessLatencyCalibration(t *testing.T) {
+	// Target: ~7 ms average random 4 KB access (paper's DB+Disk numbers),
+	// worst case ≈ 13 ms.
+	d, _ := newDisk(256 << 20)
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 4096)
+	var total, worst time.Duration
+	const ops = 2000
+	for i := 0; i < ops; i++ {
+		off := rng.Int63n(256<<20/4096) * 4096
+		lat, err := d.ReadAt(buf, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += lat
+		if lat > worst {
+			worst = lat
+		}
+	}
+	mean := ms(total / ops)
+	t.Logf("random 4KB reads: mean %.2f ms, worst %.2f ms", mean, ms(worst))
+	if mean < 4 || mean > 10 {
+		t.Errorf("mean random access = %.2f ms, want ≈7", mean)
+	}
+	if ms(worst) > 16 {
+		t.Errorf("worst random access = %.2f ms, want ≲13", ms(worst))
+	}
+}
+
+func TestSequentialIsCheap(t *testing.T) {
+	d, _ := newDisk(64 << 20)
+	buf := make([]byte, 128<<10)
+	first, _ := d.WriteAt(buf, 0)
+	// Subsequent sequential writes skip seek and rotation.
+	var total time.Duration
+	const n = 50
+	for i := 1; i <= n; i++ {
+		lat, err := d.WriteAt(buf, int64(i)*int64(len(buf)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += lat
+	}
+	seqMean := total / n
+	t.Logf("first (seek) %.2f ms, sequential mean %.2f ms", ms(first), ms(seqMean))
+	// 128 KB at 55 MB/s ≈ 2.4 ms of pure transfer.
+	if seqMean > 4*time.Millisecond {
+		t.Errorf("sequential 128KB write mean %.2f ms, want ≈2.5 (transfer only)", ms(seqMean))
+	}
+	if seqMean >= first {
+		t.Error("sequential write not cheaper than seeking write")
+	}
+}
+
+func TestSeekDistanceMatters(t *testing.T) {
+	d, _ := newDisk(1 << 30)
+	buf := make([]byte, 4096)
+	// Average over rotation jitter: near seeks must beat far seeks.
+	var near, far time.Duration
+	const reps = 200
+	for i := 0; i < reps; i++ {
+		d.ReadAt(buf, 0)
+		lat, _ := d.ReadAt(buf, 8192) // short hop
+		near += lat
+		d.ReadAt(buf, 0)
+		lat, _ = d.ReadAt(buf, 1<<30-4096) // full stroke
+		far += lat
+	}
+	if near >= far {
+		t.Errorf("near seeks (%v) not cheaper than far seeks (%v)", near/reps, far/reps)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two identical disks must produce identical latency sequences.
+	run := func() []time.Duration {
+		d, _ := newDisk(64 << 20)
+		rng := rand.New(rand.NewSource(9))
+		buf := make([]byte, 4096)
+		var lats []time.Duration
+		for i := 0; i < 100; i++ {
+			lat, _ := d.ReadAt(buf, rng.Int63n(64<<20/4096)*4096)
+			lats = append(lats, lat)
+		}
+		return lats
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency sequence diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	d, clock := newDisk(1 << 20)
+	lat, _ := d.WriteAt(make([]byte, 4096), 0)
+	if clock.Now() != lat {
+		t.Fatalf("clock = %v, want %v", clock.Now(), lat)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	d, _ := newDisk(1 << 20)
+	boom := errors.New("boom")
+	d.SetFault(func(op storage.Op, off int64, n int) error {
+		if op == storage.OpRead {
+			return boom
+		}
+		return nil
+	})
+	if _, err := d.ReadAt(make([]byte, 10), 0); !errors.Is(err, boom) {
+		t.Fatal("fault not injected")
+	}
+	if _, err := d.WriteAt(make([]byte, 10), 0); err != nil {
+		t.Fatalf("write should pass: %v", err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d, _ := newDisk(1 << 20)
+	d.WriteAt(make([]byte, 100), 0)
+	d.ReadAt(make([]byte, 50), 0)
+	c := d.Counters()
+	if c.Writes != 1 || c.Reads != 1 || c.BytesWritten != 100 || c.BytesRead != 50 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

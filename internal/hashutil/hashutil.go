@@ -1,0 +1,93 @@
+// Package hashutil provides the hash primitives shared by BufferHash and its
+// substrates: 64-bit avalanche mixers, seeded hashing of byte strings, the
+// Kirsch–Mitzenmacher double-hashing scheme used by the Bloom filters, and
+// the partition/key split used by partitioned super tables (§5.2 of the
+// paper: the first k1 bits of a key select the super table, the remaining k2
+// bits are the key within it).
+package hashutil
+
+import "encoding/binary"
+
+// Mix64 applies the SplitMix64 finalizer, a fast full-avalanche 64-bit mixer.
+// It is the core primitive from which all seeded hashes below are derived.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64Seed hashes x under the given seed. Distinct seeds yield
+// (empirically) independent hash functions, which is how the cuckoo tables
+// and Bloom filters derive their function families.
+func Hash64Seed(x, seed uint64) uint64 {
+	return Mix64(x ^ Mix64(seed+0x9e3779b97f4a7c15))
+}
+
+// HashBytes hashes an arbitrary byte string with a seeded FNV-1a/mix hybrid:
+// FNV-1a accumulates the bytes, Mix64 finalizes to full avalanche.
+func HashBytes(p []byte, seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ Mix64(seed)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return Mix64(h)
+}
+
+// DoubleHash expands a single 64-bit hash into n hash values using the
+// Kirsch–Mitzenmacher construction g_i(x) = h1(x) + i*h2(x). The two base
+// functions are the two 32-bit halves, re-mixed so that h2 is odd (odd
+// strides visit all residues modulo a power of two).
+//
+// Values are reduced modulo m. DoubleHash appends to dst and returns it, so
+// callers can reuse a scratch slice across calls.
+func DoubleHash(h uint64, n int, m uint64, dst []uint64) []uint64 {
+	h1 := h
+	h2 := Mix64(h) | 1
+	for i := 0; i < n; i++ {
+		dst = append(dst, h1%m)
+		h1 += h2
+	}
+	return dst
+}
+
+// Split divides a hash key into a partition index (top partitionBits bits)
+// and the remaining in-partition key, implementing §5.2's k = k1 + k2 split.
+// partitionBits must be in [0, 63].
+func Split(key uint64, partitionBits uint) (partition uint64, rest uint64) {
+	if partitionBits == 0 {
+		return 0, key
+	}
+	return key >> (64 - partitionBits), key & (^uint64(0) >> partitionBits)
+}
+
+// Join is the inverse of Split.
+func Join(partition, rest uint64, partitionBits uint) uint64 {
+	if partitionBits == 0 {
+		return rest
+	}
+	return partition<<(64-partitionBits) | rest
+}
+
+// PutEntry encodes a (key, value) pair into a 16-byte hash entry, the entry
+// size used throughout the paper's evaluation (§7.1.1). Little-endian: key in
+// bytes [0,8), value in bytes [8,16).
+func PutEntry(dst []byte, key, value uint64) {
+	binary.LittleEndian.PutUint64(dst[0:8], key)
+	binary.LittleEndian.PutUint64(dst[8:16], value)
+}
+
+// GetEntry decodes a 16-byte hash entry written by PutEntry.
+func GetEntry(src []byte) (key, value uint64) {
+	return binary.LittleEndian.Uint64(src[0:8]), binary.LittleEndian.Uint64(src[8:16])
+}
+
+// EntrySize is the on-flash size of one hash entry in bytes.
+const EntrySize = 16

@@ -1,0 +1,260 @@
+// Package metrics provides latency histograms and distribution summaries for
+// the experiment harness. The paper reports latency CDFs (Figures 6, 7),
+// CCDFs (Figure 8a), averages and worst cases (§7.2); Histogram captures all
+// of these from a stream of virtual-time durations.
+//
+// Buckets are log-spaced with ~5% relative width between 100 ns and 1000 s,
+// so percentile estimates carry at most a few percent of relative error —
+// far below the order-of-magnitude differences the paper's claims rest on.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+const (
+	bucketMin   = 100 * time.Nanosecond
+	growth      = 1.05
+	numBuckets  = 475                     // growth^475 * 100ns ≈ 1.1e12 ns ≈ 18 minutes
+	invLnGrowth = 1 / 0.04879016416943205 // 1/ln(1.05)
+)
+
+// Histogram accumulates a latency distribution. The zero value is ready to
+// use.
+type Histogram struct {
+	buckets [numBuckets + 2]uint64 // [0]: < bucketMin, [last]: overflow
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	if d < bucketMin {
+		return 0
+	}
+	i := 1 + int(math.Log(float64(d)/float64(bucketMin))*invLnGrowth)
+	if i > numBuckets {
+		return numBuckets + 1
+	}
+	return i
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return bucketMin
+	}
+	return time.Duration(float64(bucketMin) * math.Pow(growth, float64(i)))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average sample, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1). The estimate
+// is the upper bound of the bucket containing the quantile, except that the
+// exact Min and Max are returned at the extremes.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= target {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// FractionAtMost returns the fraction of samples ≤ d (bucket-resolution).
+func (h *Histogram) FractionAtMost(d time.Duration) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	idx := bucketIndex(d)
+	var cum uint64
+	for i := 0; i <= idx; i++ {
+		cum += h.buckets[i]
+	}
+	return float64(cum) / float64(h.count)
+}
+
+// Point is one (latency, fraction) point of a CDF or CCDF curve.
+type Point struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution as a sequence of points over the
+// non-empty buckets, suitable for plotting against the paper's Figures 6–7.
+func (h *Histogram) CDF() []Point {
+	var pts []Point
+	if h.count == 0 {
+		return pts
+	}
+	var cum uint64
+	for i := range h.buckets {
+		if h.buckets[i] == 0 {
+			continue
+		}
+		cum += h.buckets[i]
+		pts = append(pts, Point{bucketUpper(i), float64(cum) / float64(h.count)})
+	}
+	return pts
+}
+
+// CCDF returns the complementary CDF (fraction of samples strictly greater
+// than each latency), as used in Figure 8(a).
+func (h *Histogram) CCDF() []Point {
+	pts := h.CDF()
+	for i := range pts {
+		pts[i].Fraction = 1 - pts[i].Fraction
+	}
+	return pts
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// Summary is a compact snapshot of a distribution.
+type Summary struct {
+	Count          uint64
+	Mean, Min, Max time.Duration
+	P50, P90, P99  time.Duration
+	P999           time.Duration
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// String formats the summary in milliseconds, the paper's unit.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4fms p50=%.4fms p90=%.4fms p99=%.4fms max=%.4fms",
+		s.Count, Ms(s.Mean), Ms(s.P50), Ms(s.P90), Ms(s.P99), Ms(s.Max))
+}
+
+// Ms converts a duration to float milliseconds (the unit used throughout the
+// paper's tables and figures).
+func Ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// Counter is a monotonically increasing event counter grouped by label.
+type Counter struct {
+	counts map[string]uint64
+}
+
+// Inc adds n to the named counter.
+func (c *Counter) Inc(name string, n uint64) {
+	if c.counts == nil {
+		c.counts = make(map[string]uint64)
+	}
+	c.counts[name] += n
+}
+
+// Get returns the value of the named counter.
+func (c *Counter) Get(name string) uint64 {
+	return c.counts[name]
+}
+
+// String lists counters in sorted order.
+func (c *Counter) String() string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.counts[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if pts := h.CDF(); len(pts) != 0 {
+		t.Fatalf("empty CDF has %d points", len(pts))
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for _, ms := range []int{1, 2, 3, 4, 5} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Quantiles of a known uniform distribution must be within the ~5%
+	// bucket resolution.
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.10 {
+			t.Errorf("Quantile(%.2f) = %v, exact %v, rel err %.3f", q, got, exact, rel)
+		}
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	if h.Quantile(0) != time.Millisecond {
+		t.Fatalf("Quantile(0) = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != time.Second {
+		t.Fatalf("Quantile(1) = %v", h.Quantile(1))
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * float64(time.Millisecond)))
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fraction < pts[i-1].Fraction || pts[i].Latency < pts[i-1].Latency {
+			t.Fatalf("CDF not monotonic at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if last := pts[len(pts)-1].Fraction; math.Abs(last-1.0) > 1e-9 {
+		t.Fatalf("CDF does not reach 1.0: %f", last)
+	}
+}
+
+func TestCCDFComplement(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cdf, ccdf := h.CDF(), h.CCDF()
+	if len(cdf) != len(ccdf) {
+		t.Fatalf("point count mismatch: %d vs %d", len(cdf), len(ccdf))
+	}
+	for i := range cdf {
+		if math.Abs(cdf[i].Fraction+ccdf[i].Fraction-1.0) > 1e-9 {
+			t.Fatalf("CDF+CCDF != 1 at %d", i)
+		}
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.FractionAtMost(20 * time.Millisecond); got != 1.0 {
+		t.Fatalf("FractionAtMost(20ms) = %f, want 1", got)
+	}
+	got := h.FractionAtMost(5 * time.Millisecond)
+	if got < 0.4 || got > 0.65 {
+		t.Fatalf("FractionAtMost(5ms) = %f, want ~0.5", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", a.Count())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", a.Mean())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Fatalf("Min/Max wrong after merge: %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	a.Merge(&b) // no-op
+	if a.Count() != 1 {
+		t.Fatal("merging empty histogram changed count")
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Min() != time.Millisecond {
+		t.Fatal("merging into empty histogram lost stats")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1000 * time.Hour) // beyond the bucket range
+	if h.Count() != 1 {
+		t.Fatal("overflow sample dropped")
+	}
+	if h.Quantile(0.5) != 1000*time.Hour {
+		// Quantile clamps to max.
+		t.Fatalf("Quantile(0.5) = %v", h.Quantile(0.5))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestMs(t *testing.T) {
+	if Ms(1500*time.Microsecond) != 1.5 {
+		t.Fatalf("Ms(1.5ms) = %f", Ms(1500*time.Microsecond))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc("reads", 3)
+	c.Inc("writes", 1)
+	c.Inc("reads", 2)
+	if c.Get("reads") != 5 || c.Get("writes") != 1 {
+		t.Fatalf("counter values wrong: %s", c.String())
+	}
+	if c.Get("absent") != 0 {
+		t.Fatal("absent counter non-zero")
+	}
+	if s := c.String(); s != "reads=5 writes=1" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for d := time.Duration(1); d < 10*time.Second; d = d*3/2 + 1 {
+		i := bucketIndex(d)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %v", d)
+		}
+		prev = i
+	}
+}

@@ -1,0 +1,159 @@
+package rabin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestBoundariesCoverData(t *testing.T) {
+	c := Default()
+	data := randomBytes(1<<20, 1)
+	cuts := c.Boundaries(data)
+	if len(cuts) == 0 || cuts[len(cuts)-1] != len(data) {
+		t.Fatalf("boundaries do not cover data: %v", cuts[len(cuts)-1])
+	}
+	prev := 0
+	for _, cut := range cuts {
+		if cut <= prev {
+			t.Fatalf("non-increasing cut %d after %d", cut, prev)
+		}
+		prev = cut
+	}
+}
+
+func TestChunkSizeBounds(t *testing.T) {
+	c := NewChunker(13, 2<<10, 64<<10, 1)
+	data := randomBytes(4<<20, 2)
+	prev := 0
+	for i, cut := range c.Boundaries(data) {
+		size := cut - prev
+		if size > 64<<10 {
+			t.Fatalf("chunk %d size %d > max", i, size)
+		}
+		// Only the final chunk may be under min.
+		if size < 2<<10 && cut != len(data) {
+			t.Fatalf("chunk %d size %d < min", i, size)
+		}
+		prev = cut
+	}
+}
+
+func TestAverageChunkSize(t *testing.T) {
+	c := Default()
+	data := randomBytes(8<<20, 3)
+	chunks := c.Split(data)
+	avg := len(data) / len(chunks)
+	// Expected ~8 KB (mask 13 bits) with min-size skew; accept 4–16 KB.
+	if avg < 4<<10 || avg > 16<<10 {
+		t.Fatalf("average chunk size %d, want ≈8 KB", avg)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c1, c2 := Default(), Default()
+	data := randomBytes(1<<20, 4)
+	a, b := c1.Boundaries(data), c2.Boundaries(data)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic chunk count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic boundaries")
+		}
+	}
+}
+
+func TestContentDefinedShiftResistance(t *testing.T) {
+	// The core CDC property: inserting a prefix shifts content, but chunk
+	// boundaries resynchronize, so most chunks of the shifted stream are
+	// byte-identical to chunks of the original.
+	c := Default()
+	data := randomBytes(2<<20, 5)
+	shifted := append(randomBytes(1234, 6), data...)
+
+	orig := map[string]bool{}
+	for _, ch := range c.Split(data) {
+		orig[string(ch)] = true
+	}
+	matched, total := 0, 0
+	for _, ch := range c.Split(shifted) {
+		total++
+		if orig[string(ch)] {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(total)
+	t.Logf("resync: %d/%d chunks (%.0f%%) identical after a 1234-byte prefix insert", matched, total, 100*frac)
+	if frac < 0.9 {
+		t.Fatalf("only %.0f%% of chunks matched after shift; CDC broken", 100*frac)
+	}
+}
+
+func TestIdenticalContentIdenticalChunks(t *testing.T) {
+	// Redundancy detection depends on identical regions producing
+	// identical chunks when embedded in different surroundings.
+	c := Default()
+	shared := randomBytes(256<<10, 7)
+	obj1 := append(randomBytes(64<<10, 8), shared...)
+	obj2 := append(randomBytes(96<<10, 9), shared...)
+	set1 := map[string]bool{}
+	for _, ch := range c.Split(obj1) {
+		set1[string(ch)] = true
+	}
+	common := 0
+	var commonBytes int
+	for _, ch := range c.Split(obj2) {
+		if set1[string(ch)] {
+			common++
+			commonBytes += len(ch)
+		}
+	}
+	if commonBytes < len(shared)*8/10 {
+		t.Fatalf("only %d of %d shared bytes deduplicated", commonBytes, len(shared))
+	}
+	if common == 0 {
+		t.Fatal("no common chunks found")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	c := Default()
+	if cuts := c.Boundaries(nil); len(cuts) != 1 || cuts[0] != 0 {
+		t.Fatalf("empty input: %v", cuts)
+	}
+	small := []byte("tiny")
+	chunks := c.Split(small)
+	if len(chunks) != 1 || !bytes.Equal(chunks[0], small) {
+		t.Fatalf("tiny input chunks: %v", chunks)
+	}
+}
+
+func TestSplitReassembles(t *testing.T) {
+	c := Default()
+	data := randomBytes(3<<20, 10)
+	var re []byte
+	for _, ch := range c.Split(data) {
+		re = append(re, ch...)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("chunks do not reassemble to the original")
+	}
+}
+
+func BenchmarkChunking(b *testing.B) {
+	c := Default()
+	data := randomBytes(1<<20, 11)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Boundaries(data)
+	}
+}

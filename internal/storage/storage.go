@@ -1,0 +1,223 @@
+// Package storage defines the block-device abstraction shared by all
+// simulated media (flash chip, SSD, magnetic disk) and the sparse byte store
+// backing them.
+//
+// Devices operate in virtual time: every I/O returns the simulated service
+// latency and advances the shared vclock.Clock by it. Devices store real
+// bytes, so data integrity is verified end to end by the tests — the latency
+// model and the data path are exercised together.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Op identifies a device operation for fault injection and accounting.
+type Op int
+
+// Device operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpErase
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// FaultFunc is a fault-injection hook. If it returns a non-nil error for an
+// operation, the device fails that operation with the error (after charging
+// no latency). Tests use this to exercise error paths.
+type FaultFunc func(op Op, off int64, n int) error
+
+// Geometry describes a device's addressing structure.
+type Geometry struct {
+	// Capacity is the usable size in bytes.
+	Capacity int64
+	// PageSize is the smallest read/write unit in bytes (flash page or SSD
+	// sector). Disk models use it as the sector size.
+	PageSize int
+	// BlockSize is the erase-block size in bytes, or 0 for media without an
+	// erase constraint (magnetic disk).
+	BlockSize int
+}
+
+// Pages returns the number of pages on the device.
+func (g Geometry) Pages() int64 { return g.Capacity / int64(g.PageSize) }
+
+// Blocks returns the number of erase blocks, or 0 if BlockSize is 0.
+func (g Geometry) Blocks() int64 {
+	if g.BlockSize == 0 {
+		return 0
+	}
+	return g.Capacity / int64(g.BlockSize)
+}
+
+// Counters accumulates I/O accounting for a device.
+type Counters struct {
+	Reads        uint64
+	Writes       uint64
+	Erases       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// PagesMoved counts garbage-collection relocations (SSD FTL).
+	PagesMoved uint64
+	// GCRuns counts synchronous garbage-collection episodes (SSD FTL).
+	GCRuns uint64
+	// BusyTime is the total simulated service time.
+	BusyTime time.Duration
+}
+
+// Device is a virtual-time block storage device.
+//
+// Offsets and lengths must respect the device's page alignment; devices
+// return an error otherwise. All methods advance the device's clock by the
+// returned latency.
+type Device interface {
+	// ReadAt reads len(p) bytes at off and returns the simulated latency.
+	ReadAt(p []byte, off int64) (time.Duration, error)
+	// WriteAt writes len(p) bytes at off and returns the simulated latency.
+	WriteAt(p []byte, off int64) (time.Duration, error)
+	// Geometry returns the device's addressing structure.
+	Geometry() Geometry
+	// Counters returns a snapshot of the device's I/O accounting.
+	Counters() Counters
+}
+
+// Eraser is implemented by devices with an explicit erase operation (raw
+// flash chips). Offsets and sizes must be erase-block aligned.
+type Eraser interface {
+	Erase(off, n int64) (time.Duration, error)
+}
+
+// Trimmer is implemented by devices that accept invalidation hints (SSDs).
+// Trimming tells the FTL the range no longer holds live data.
+type Trimmer interface {
+	Trim(off, n int64) error
+}
+
+// Common device errors.
+var (
+	ErrOutOfRange   = errors.New("storage: offset out of range")
+	ErrUnaligned    = errors.New("storage: unaligned access")
+	ErrNotErased    = errors.New("storage: write to non-erased flash page")
+	ErrProgramOrder = errors.New("storage: out-of-order page program within erase block")
+)
+
+// CheckRange validates [off, off+n) against the geometry and the alignment
+// unit `align`.
+func CheckRange(g Geometry, off, n int64, align int) error {
+	if off < 0 || n < 0 || off+n > g.Capacity {
+		return fmt.Errorf("%w: off=%d n=%d cap=%d", ErrOutOfRange, off, n, g.Capacity)
+	}
+	if align > 1 && (off%int64(align) != 0 || n%int64(align) != 0) {
+		return fmt.Errorf("%w: off=%d n=%d align=%d", ErrUnaligned, off, n, align)
+	}
+	return nil
+}
+
+// SparseStore is a page-granular sparse byte store. Unwritten regions read
+// as the fill byte (0x00 for disks, 0xFF for erased NAND). It is the data
+// backing for all device models, letting a simulated "32 GB" device cost
+// only as much host memory as the pages actually touched.
+type SparseStore struct {
+	pageSize int
+	fill     byte
+	pages    map[int64][]byte
+}
+
+// NewSparseStore returns a store with the given page size and fill byte.
+func NewSparseStore(pageSize int, fill byte) *SparseStore {
+	return &SparseStore{pageSize: pageSize, fill: fill, pages: make(map[int64][]byte)}
+}
+
+// ReadAt fills p from the store at off.
+func (s *SparseStore) ReadAt(p []byte, off int64) {
+	for len(p) > 0 {
+		pageIdx := off / int64(s.pageSize)
+		inPage := int(off % int64(s.pageSize))
+		n := s.pageSize - inPage
+		if n > len(p) {
+			n = len(p)
+		}
+		if page, ok := s.pages[pageIdx]; ok {
+			copy(p[:n], page[inPage:inPage+n])
+		} else {
+			for i := 0; i < n; i++ {
+				p[i] = s.fill
+			}
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// WriteAt stores p at off, allocating pages as needed.
+func (s *SparseStore) WriteAt(p []byte, off int64) {
+	for len(p) > 0 {
+		pageIdx := off / int64(s.pageSize)
+		inPage := int(off % int64(s.pageSize))
+		n := s.pageSize - inPage
+		if n > len(p) {
+			n = len(p)
+		}
+		page, ok := s.pages[pageIdx]
+		if !ok {
+			page = make([]byte, s.pageSize)
+			if s.fill != 0 {
+				for i := range page {
+					page[i] = s.fill
+				}
+			}
+			s.pages[pageIdx] = page
+		}
+		copy(page[inPage:inPage+n], p[:n])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// Drop releases the pages fully covered by [off, off+n) and refills partial
+// overlaps with the fill byte.
+func (s *SparseStore) Drop(off, n int64) {
+	end := off + n
+	first := off / int64(s.pageSize)
+	last := (end - 1) / int64(s.pageSize)
+	for idx := first; idx <= last; idx++ {
+		pageStart := idx * int64(s.pageSize)
+		pageEnd := pageStart + int64(s.pageSize)
+		if pageStart >= off && pageEnd <= end {
+			delete(s.pages, idx)
+			continue
+		}
+		if page, ok := s.pages[idx]; ok {
+			lo, hi := int64(0), int64(s.pageSize)
+			if off > pageStart {
+				lo = off - pageStart
+			}
+			if end < pageEnd {
+				hi = end - pageStart
+			}
+			for i := lo; i < hi; i++ {
+				page[i] = s.fill
+			}
+		}
+	}
+}
+
+// PagesAllocated returns the number of live pages (for memory accounting in
+// tests).
+func (s *SparseStore) PagesAllocated() int { return len(s.pages) }

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Capacity: 1 << 20, PageSize: 2048, BlockSize: 128 << 10}
+	if g.Pages() != 512 {
+		t.Fatalf("Pages() = %d, want 512", g.Pages())
+	}
+	if g.Blocks() != 8 {
+		t.Fatalf("Blocks() = %d, want 8", g.Blocks())
+	}
+	g.BlockSize = 0
+	if g.Blocks() != 0 {
+		t.Fatalf("Blocks() = %d with zero BlockSize", g.Blocks())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || OpErase.String() != "erase" {
+		t.Fatal("Op.String() wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op should still format")
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	g := Geometry{Capacity: 4096, PageSize: 512}
+	if err := CheckRange(g, 0, 4096, 512); err != nil {
+		t.Fatalf("full-range access rejected: %v", err)
+	}
+	if err := CheckRange(g, 512, 512, 512); err != nil {
+		t.Fatalf("aligned access rejected: %v", err)
+	}
+	if err := CheckRange(g, 0, 8192, 512); err == nil {
+		t.Fatal("out-of-range access accepted")
+	}
+	if err := CheckRange(g, -512, 512, 512); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := CheckRange(g, 100, 512, 512); err == nil {
+		t.Fatal("unaligned offset accepted")
+	}
+	if err := CheckRange(g, 0, 100, 512); err == nil {
+		t.Fatal("unaligned length accepted")
+	}
+	if err := CheckRange(g, 100, 10, 1); err != nil {
+		t.Fatalf("align=1 should accept byte granularity: %v", err)
+	}
+}
+
+func TestSparseStoreReadUnwritten(t *testing.T) {
+	s := NewSparseStore(512, 0xFF)
+	buf := make([]byte, 100)
+	s.ReadAt(buf, 1000)
+	for i, b := range buf {
+		if b != 0xFF {
+			t.Fatalf("byte %d = %#x, want 0xFF fill", i, b)
+		}
+	}
+}
+
+func TestSparseStoreRoundTrip(t *testing.T) {
+	s := NewSparseStore(512, 0)
+	data := []byte("hello, sparse world")
+	s.WriteAt(data, 700) // crosses a page boundary
+	got := make([]byte, len(data))
+	s.ReadAt(got, 700)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+}
+
+func TestSparseStoreCrossPageWrite(t *testing.T) {
+	s := NewSparseStore(8, 0xAA)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s.WriteAt(data, 4) // spans 5 pages
+	got := make([]byte, 40)
+	s.ReadAt(got, 0)
+	for i := 0; i < 4; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("leading fill corrupted at %d: %#x", i, got[i])
+		}
+	}
+	if !bytes.Equal(got[4:36], data) {
+		t.Fatal("cross-page data wrong")
+	}
+	if got[36] != 0xAA {
+		t.Fatal("trailing fill corrupted")
+	}
+}
+
+func TestSparseStoreDropWholePages(t *testing.T) {
+	s := NewSparseStore(16, 0xFF)
+	s.WriteAt(make([]byte, 64), 0) // 4 pages of zeros
+	if s.PagesAllocated() != 4 {
+		t.Fatalf("PagesAllocated = %d, want 4", s.PagesAllocated())
+	}
+	s.Drop(16, 32) // pages 1 and 2
+	if s.PagesAllocated() != 2 {
+		t.Fatalf("PagesAllocated = %d after drop, want 2", s.PagesAllocated())
+	}
+	buf := make([]byte, 64)
+	s.ReadAt(buf, 0)
+	for i := 0; i < 16; i++ {
+		if buf[i] != 0 {
+			t.Fatal("page 0 corrupted by drop")
+		}
+	}
+	for i := 16; i < 48; i++ {
+		if buf[i] != 0xFF {
+			t.Fatalf("dropped region not refilled at %d", i)
+		}
+	}
+}
+
+func TestSparseStoreDropPartialPage(t *testing.T) {
+	s := NewSparseStore(16, 0xFF)
+	data := make([]byte, 16)
+	s.WriteAt(data, 0) // page 0 all zeros
+	s.Drop(4, 8)       // partial drop within page 0
+	buf := make([]byte, 16)
+	s.ReadAt(buf, 0)
+	for i := 0; i < 4; i++ {
+		if buf[i] != 0 {
+			t.Fatal("prefix clobbered")
+		}
+	}
+	for i := 4; i < 12; i++ {
+		if buf[i] != 0xFF {
+			t.Fatalf("partial drop not refilled at %d", i)
+		}
+	}
+	for i := 12; i < 16; i++ {
+		if buf[i] != 0 {
+			t.Fatal("suffix clobbered")
+		}
+	}
+}
+
+func TestSparseStoreQuick(t *testing.T) {
+	// Property: a sparse store behaves exactly like a flat byte array.
+	const size = 1 << 12
+	s := NewSparseStore(64, 0)
+	ref := make([]byte, size)
+	f := func(off16 uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		off := int64(off16) % (size - int64(len(data)))
+		if off < 0 {
+			off = 0
+		}
+		s.WriteAt(data, off)
+		copy(ref[off:], data)
+		got := make([]byte, len(data))
+		s.ReadAt(got, off)
+		if !bytes.Equal(got, ref[off:off+int64(len(data))]) {
+			return false
+		}
+		// Also verify a wider window.
+		wide := make([]byte, size)
+		s.ReadAt(wide, 0)
+		return bytes.Equal(wide, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

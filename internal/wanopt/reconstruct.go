@@ -1,0 +1,94 @@
+package wanopt
+
+import "fmt"
+
+// Token is one element of a compressed object stream (§8: "the compressed
+// object is transmitted to the destination, where it gets reconstructed").
+// A token is either a literal chunk (new content) or a fingerprint
+// reference to a chunk the receiver already holds.
+type Token struct {
+	// Ref is the fingerprint of a previously transmitted chunk, or 0 for
+	// a literal token.
+	Ref uint64
+	// Literal holds the chunk bytes for literal tokens.
+	Literal []byte
+}
+
+// WireBytes returns the token's on-wire size.
+func (t Token) WireBytes() int {
+	if t.Ref != 0 {
+		return RefBytes
+	}
+	return len(t.Literal)
+}
+
+// Encode compresses an object into a token stream against the optimizer's
+// fingerprint index, with exactly the same matching decisions as Process —
+// used to verify end-to-end reconstruction and to feed a Receiver. The
+// index is not modified (index lookups may still charge virtual time on
+// simulated indexes).
+func (o *Optimizer) Encode(data []byte) []Token {
+	chunks := o.chunker.Split(data)
+	tokens := make([]Token, 0, len(chunks))
+	// Literals already emitted in THIS stream are referenceable too (the
+	// receiver caches them on arrival), matching Process's behaviour of
+	// inserting fingerprints as it walks the object.
+	seen := make(map[uint64]bool)
+	for _, chunk := range chunks {
+		fp := Fingerprint(chunk)
+		if seen[fp] {
+			tokens = append(tokens, Token{Ref: fp})
+			continue
+		}
+		if _, found, err := o.cfg.Index.Lookup(fp); err == nil && found {
+			tokens = append(tokens, Token{Ref: fp})
+			continue
+		}
+		lit := make([]byte, len(chunk))
+		copy(lit, chunk)
+		tokens = append(tokens, Token{Literal: lit})
+		seen[fp] = true
+	}
+	return tokens
+}
+
+// Receiver is the decompressing endpoint: it caches every literal chunk by
+// fingerprint and resolves references against that cache. Real deployments
+// bound this cache and synchronize eviction with the sender (commercial
+// WAN optimizers pair FIFO content stores on both sides, §5.1.2); the
+// simulation keeps it unbounded for verification.
+type Receiver struct {
+	chunks map[uint64][]byte
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{chunks: make(map[uint64][]byte)}
+}
+
+// ChunkCount returns the number of cached chunks.
+func (r *Receiver) ChunkCount() int { return len(r.chunks) }
+
+// Reconstruct rebuilds the original object from a token stream, caching
+// literals for future references.
+func (r *Receiver) Reconstruct(tokens []Token) ([]byte, error) {
+	var out []byte
+	for i, t := range tokens {
+		if t.Ref == 0 {
+			out = append(out, t.Literal...)
+			fp := Fingerprint(t.Literal)
+			if _, ok := r.chunks[fp]; !ok {
+				lit := make([]byte, len(t.Literal))
+				copy(lit, t.Literal)
+				r.chunks[fp] = lit
+			}
+			continue
+		}
+		chunk, ok := r.chunks[t.Ref]
+		if !ok {
+			return nil, fmt.Errorf("wanopt: token %d references unknown chunk %#x", i, t.Ref)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+// Package wanopt implements the WAN optimizer of §8: a connection
+// management (CM) front end that chunks incoming objects with Rabin-Karp
+// content-defined chunking and fingerprints each chunk with SHA-1; a
+// compression engine (CE) that looks fingerprints up in a large hash table
+// to find duplicate content, stores new chunks in an on-disk content
+// cache, and inserts their fingerprints; and a network subsystem (NS) that
+// transmits the compressed bytes over a link of configurable speed.
+//
+// The fingerprint index is pluggable — a CLAM or a Berkeley-DB-style index
+// — which is exactly the comparison of Figures 9 and 10. As in the paper,
+// the CM is emulated at high speed (chunks and SHA-1 fingerprints cost no
+// virtual time; §8: "We emulate a high-speed CM by pre-computing chunks
+// and SHA-1 fingerprints"), and the NS transmits at link rate without
+// TCP dynamics.
+//
+// Everything runs in virtual time on the shared clock: index operations
+// and content-cache I/O advance it by their modeled latencies, and
+// transmission finishes at link-rate-determined instants.
+package wanopt
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/rabin"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Index is the fingerprint store interface: CLAM, bdb.HashIndex and
+// bdb.BTree all satisfy it via small adapters.
+type Index interface {
+	Insert(key, value uint64) error
+	Lookup(key uint64) (uint64, bool, error)
+}
+
+// RefBytes is the on-wire size of a reference to a cached chunk
+// (fingerprint + offset metadata).
+const RefBytes = 20
+
+// Config assembles a WAN optimizer.
+type Config struct {
+	// Index is the fingerprint hash table (CLAM or BDB).
+	Index Index
+	// ContentDev is the magnetic disk holding the content cache (§8: "The
+	// CE maintains a large content cache on a magnetic disk"). May be nil
+	// to model an infinitely fast cache.
+	ContentDev storage.Device
+	// Clock is the shared virtual clock.
+	Clock *vclock.Clock
+	// LinkBitsPerSec is the WAN link speed.
+	LinkBitsPerSec int64
+	// CMDelay is the connection-manager buffering delay (§8 uses 25 ms).
+	CMDelay time.Duration
+	// Chunker overrides the default ~8 KB content chunker.
+	Chunker *rabin.Chunker
+}
+
+// Optimizer is a WAN optimizer endpoint. Not safe for concurrent use.
+type Optimizer struct {
+	cfg      Config
+	chunker  *rabin.Chunker
+	writePos int64 // content cache append position
+	linkFree time.Duration
+	stats    Stats
+}
+
+// Stats aggregates optimizer behaviour.
+type Stats struct {
+	Objects          int
+	BytesIn          int64
+	BytesOut         int64
+	ChunksTotal      uint64
+	ChunksMatched    uint64
+	IndexInserts     uint64
+	IndexLookups     uint64
+	CacheWriteBytes  int64
+	CacheWriteTime   time.Duration
+	IndexTime        time.Duration
+	TransmissionTime time.Duration
+}
+
+// CompressionRatio returns BytesIn/BytesOut.
+func (s Stats) CompressionRatio() float64 {
+	if s.BytesOut == 0 {
+		return 0
+	}
+	return float64(s.BytesIn) / float64(s.BytesOut)
+}
+
+// New builds an optimizer.
+func New(cfg Config) (*Optimizer, error) {
+	if cfg.Index == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("wanopt: Index and Clock are required")
+	}
+	if cfg.LinkBitsPerSec <= 0 {
+		return nil, fmt.Errorf("wanopt: LinkBitsPerSec must be positive")
+	}
+	ch := cfg.Chunker
+	if ch == nil {
+		ch = rabin.Default()
+	}
+	return &Optimizer{cfg: cfg, chunker: ch}, nil
+}
+
+// Stats returns aggregate counters.
+func (o *Optimizer) Stats() Stats { return o.stats }
+
+// Fingerprint hashes a chunk to its 64-bit index key (the top bytes of its
+// SHA-1, as the paper's 32–64 bit fingerprints).
+func Fingerprint(chunk []byte) uint64 {
+	sum := sha1.Sum(chunk)
+	fp := binary.BigEndian.Uint64(sum[:8])
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// ObjectResult reports the processing of one object.
+type ObjectResult struct {
+	RawBytes        int
+	CompressedBytes int
+	Chunks          int
+	Matched         int
+	// ProcessTime is the CE time: index lookups/inserts + cache writes.
+	ProcessTime time.Duration
+	// Completion is the virtual time when the last byte left the link.
+	Completion time.Duration
+}
+
+// Process runs one object through CM → CE → NS at the current virtual time
+// and returns its result. The link is modeled as a FIFO serializer: an
+// object's transmission starts when the link is free and its compressed
+// bytes are ready.
+func (o *Optimizer) Process(data []byte) (ObjectResult, error) {
+	clock := o.cfg.Clock
+	res := ObjectResult{RawBytes: len(data)}
+	o.stats.Objects++
+	o.stats.BytesIn += int64(len(data))
+
+	// CM: content chunking + SHA-1 (precomputed per §8, so free in
+	// virtual time aside from the buffering delay).
+	clock.Advance(o.cfg.CMDelay)
+	chunks := o.chunker.Split(data)
+	res.Chunks = len(chunks)
+	o.stats.ChunksTotal += uint64(len(chunks))
+
+	// CE: fingerprint lookups, content cache writes, index inserts.
+	ceStart := clock.Now()
+	compressed := 0
+	for _, chunk := range chunks {
+		fp := Fingerprint(chunk)
+		idxW := clock.StartWatch()
+		_, found, err := o.cfg.Index.Lookup(fp)
+		o.stats.IndexLookups++
+		if err != nil {
+			return res, fmt.Errorf("wanopt: index lookup: %w", err)
+		}
+		if found {
+			res.Matched++
+			o.stats.ChunksMatched++
+			compressed += RefBytes
+			o.stats.IndexTime += idxW.Elapsed()
+			continue
+		}
+		compressed += len(chunk)
+		// Store the chunk in the on-disk content cache (sequential
+		// append, §8: "chunks are inserted into the content cache in a
+		// serial fashion").
+		addr := uint64(o.writePos)
+		if o.cfg.ContentDev != nil {
+			cw := clock.StartWatch()
+			cap := o.cfg.ContentDev.Geometry().Capacity
+			pos := o.writePos % cap
+			if pos+int64(len(chunk)) > cap {
+				pos = 0 // wrap the cache
+				o.writePos = 0
+			}
+			if _, err := o.cfg.ContentDev.WriteAt(chunk, pos); err != nil {
+				return res, fmt.Errorf("wanopt: content cache write: %w", err)
+			}
+			o.stats.CacheWriteTime += cw.Elapsed()
+		}
+		o.writePos += int64(len(chunk))
+		o.stats.CacheWriteBytes += int64(len(chunk))
+		if err := o.cfg.Index.Insert(fp, addr); err != nil {
+			return res, fmt.Errorf("wanopt: index insert: %w", err)
+		}
+		o.stats.IndexInserts++
+		o.stats.IndexTime += idxW.Elapsed()
+	}
+	res.CompressedBytes = compressed
+	res.ProcessTime = clock.Now() - ceStart
+	o.stats.BytesOut += int64(compressed)
+
+	// NS: serialize onto the link.
+	tx := o.transmit(compressed)
+	res.Completion = tx
+	return res, nil
+}
+
+// transmit schedules n bytes on the FIFO link, starting no earlier than
+// the current time and the link-free instant, and returns the completion
+// instant. The clock is NOT advanced: transmission overlaps the processing
+// of subsequent objects, as in the paper's pipelined CM/CE/NS design.
+func (o *Optimizer) transmit(n int) time.Duration {
+	start := o.cfg.Clock.Now()
+	if o.linkFree > start {
+		start = o.linkFree
+	}
+	dur := TransmitTime(n, o.cfg.LinkBitsPerSec)
+	done := start + dur
+	o.linkFree = done
+	o.stats.TransmissionTime += dur
+	return done
+}
+
+// LinkFree returns the instant the link drains.
+func (o *Optimizer) LinkFree() time.Duration { return o.linkFree }
+
+// TransmitTime returns the serialization time of n bytes at the given link
+// speed.
+func TransmitTime(n int, bitsPerSec int64) time.Duration {
+	return time.Duration(float64(n*8) / float64(bitsPerSec) * float64(time.Second))
+}

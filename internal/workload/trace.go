@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Object is one transfer of an object-level trace (§8: packet traces
+// grouped into objects by connection 4-tuple).
+type Object struct {
+	ID   int
+	Data []byte
+}
+
+// TraceConfig controls synthetic object-trace generation.
+type TraceConfig struct {
+	// Objects is the number of objects to generate.
+	Objects int
+	// MeanObjectBytes sets the object size scale; sizes follow a
+	// heavy-tail-ish mixture between MeanObjectBytes/4 and
+	// 4×MeanObjectBytes.
+	MeanObjectBytes int
+	// Redundancy is the fraction of bytes duplicated from earlier content
+	// (the paper evaluates 50% and 15% redundancy traces).
+	Redundancy float64
+	// SegmentBytes is the granularity of duplicated regions; it should be
+	// many chunk sizes so the content-defined chunker can resynchronize
+	// inside each duplicate and rediscover most of it (default 128 KB).
+	SegmentBytes int
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Trace is a reproducible synthetic object trace.
+type Trace struct {
+	Objects    []Object
+	TotalBytes int64
+	// DupBytes counts bytes copied from earlier segments: the upper bound
+	// a perfect deduplicator could remove.
+	DupBytes int64
+}
+
+// GenerateTrace synthesizes a trace: each object is a concatenation of
+// segments, where a segment is either fresh random bytes or a copy of a
+// previously emitted segment (chosen uniformly). Because duplicated
+// segments are byte-identical and larger than the chunk size,
+// content-defined chunking rediscovers them wherever they appear.
+func GenerateTrace(cfg TraceConfig) *Trace {
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 128 << 10
+	}
+	if cfg.MeanObjectBytes == 0 {
+		cfg.MeanObjectBytes = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{}
+	var pool [][]byte // previously emitted segments
+	for id := 0; id < cfg.Objects; id++ {
+		// Object size: uniform in [mean/4, 4·mean] on a log-ish scale.
+		lo := cfg.MeanObjectBytes / 4
+		size := lo + rng.Intn(cfg.MeanObjectBytes*4-lo)
+		data := make([]byte, 0, size)
+		for len(data) < size {
+			segLen := cfg.SegmentBytes
+			if remaining := size - len(data); segLen > remaining {
+				segLen = remaining
+			}
+			if len(pool) > 0 && rng.Float64() < cfg.Redundancy {
+				src := pool[rng.Intn(len(pool))]
+				if segLen > len(src) {
+					segLen = len(src)
+				}
+				data = append(data, src[:segLen]...)
+				tr.DupBytes += int64(segLen)
+				continue
+			}
+			seg := make([]byte, segLen)
+			rng.Read(seg)
+			data = append(data, seg...)
+			if segLen == cfg.SegmentBytes {
+				pool = append(pool, seg)
+			}
+		}
+		tr.Objects = append(tr.Objects, Object{ID: id, Data: data})
+		tr.TotalBytes += int64(len(data))
+	}
+	return tr
+}
+
+// MeasuredRedundancy returns the duplicated-byte fraction of the trace.
+func (t *Trace) MeasuredRedundancy() float64 {
+	if t.TotalBytes == 0 {
+		return 0
+	}
+	return float64(t.DupBytes) / float64(t.TotalBytes)
+}

@@ -1,0 +1,112 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation: key streams with controlled lookup success ratio (§7.2,
+// "keys are generated using random distribution with varying range; the
+// range effects the lookup success rate"), mixed insert/lookup/update
+// streams (Table 3, Figure 8), and object-level traces with controlled
+// redundancy standing in for the UW-Madison packet traces (§8; the paper
+// notes its synthetic-trace results are "qualitatively similar").
+package workload
+
+import (
+	"math/rand"
+)
+
+// OpKind labels one operation of a key workload.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpLookup OpKind = iota
+	OpInsert
+	OpUpdate
+	OpDelete
+)
+
+// Op is one operation of a generated stream.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64
+}
+
+// KeyStream produces the paper's core workload: "every key is first looked
+// up, and then inserted", with keys drawn uniformly from a range sized to
+// hit a target lookup success ratio.
+type KeyStream struct {
+	rng      *rand.Rand
+	keyRange uint64
+	seq      uint64
+}
+
+// NewKeyStream builds a stream over keyRange distinct keys. With a store
+// retaining the most recent W distinct keys, the steady-state LSR of
+// lookup-then-insert is ≈ W/keyRange (clamped at 1).
+func NewKeyStream(seed int64, keyRange uint64) *KeyStream {
+	if keyRange == 0 {
+		keyRange = 1
+	}
+	return &KeyStream{rng: rand.New(rand.NewSource(seed)), keyRange: keyRange}
+}
+
+// Next returns the next key.
+func (s *KeyStream) Next() uint64 {
+	return uint64(s.rng.Int63n(int64(s.keyRange))) + 1
+}
+
+// NextValue returns a unique value (sequence number), so staleness is
+// detectable in tests.
+func (s *KeyStream) NextValue() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// RangeForLSR returns the key range that yields the target LSR for a store
+// whose steady-state population is storeEntries.
+func RangeForLSR(storeEntries uint64, lsr float64) uint64 {
+	if lsr <= 0 {
+		return 1 << 62 // effectively all misses
+	}
+	if lsr > 1 {
+		lsr = 1
+	}
+	r := uint64(float64(storeEntries) / lsr)
+	if r == 0 {
+		r = 1
+	}
+	return r
+}
+
+// Mixed generates a stream with the given lookup fraction (Table 3) and
+// update rate (Figure 8): non-lookup operations are inserts, of which
+// updateRate draws keys from the already-inserted set.
+type Mixed struct {
+	rng        *rand.Rand
+	keyRange   uint64
+	lookupFrac float64
+	updateRate float64
+	seq        uint64
+}
+
+// NewMixed builds a mixed stream.
+func NewMixed(seed int64, keyRange uint64, lookupFrac, updateRate float64) *Mixed {
+	return &Mixed{
+		rng:        rand.New(rand.NewSource(seed)),
+		keyRange:   keyRange,
+		lookupFrac: lookupFrac,
+		updateRate: updateRate,
+	}
+}
+
+// Next returns the next operation.
+func (m *Mixed) Next() Op {
+	m.seq++
+	key := uint64(m.rng.Int63n(int64(m.keyRange))) + 1
+	if m.rng.Float64() < m.lookupFrac {
+		return Op{Kind: OpLookup, Key: key}
+	}
+	kind := OpInsert
+	if m.rng.Float64() < m.updateRate {
+		kind = OpUpdate // same key range: collisions are the updates
+	}
+	return Op{Kind: kind, Key: key, Value: m.seq}
+}

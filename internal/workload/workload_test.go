@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKeyStreamDeterministic(t *testing.T) {
+	a, b := NewKeyStream(1, 1000), NewKeyStream(1, 1000)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestKeyStreamRange(t *testing.T) {
+	s := NewKeyStream(2, 100)
+	for i := 0; i < 10000; i++ {
+		k := s.Next()
+		if k < 1 || k > 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestKeyStreamValuesUnique(t *testing.T) {
+	s := NewKeyStream(3, 10)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.NextValue()
+		if seen[v] {
+			t.Fatal("duplicate value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRangeForLSR(t *testing.T) {
+	if r := RangeForLSR(1000, 0.4); r != 2500 {
+		t.Fatalf("RangeForLSR(1000, 0.4) = %d, want 2500", r)
+	}
+	if r := RangeForLSR(1000, 0); r < 1<<60 {
+		t.Fatal("zero LSR should give a huge range")
+	}
+	if r := RangeForLSR(1000, 2); r != 1000 {
+		t.Fatalf("LSR clamps at 1: %d", r)
+	}
+	if r := RangeForLSR(0, 0.5); r != 1 {
+		t.Fatalf("zero store: %d", r)
+	}
+}
+
+func TestMixedFractions(t *testing.T) {
+	m := NewMixed(4, 10000, 0.7, 0.0)
+	lookups := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := m.Next()
+		if op.Kind == OpLookup {
+			lookups++
+		}
+	}
+	frac := float64(lookups) / n
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("lookup fraction %.3f, want 0.7", frac)
+	}
+}
+
+func TestMixedValuesIncrease(t *testing.T) {
+	m := NewMixed(5, 100, 0, 0.5)
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		op := m.Next()
+		if op.Value <= prev {
+			t.Fatal("values not strictly increasing")
+		}
+		prev = op.Value
+	}
+}
+
+func TestTraceRedundancyTargets(t *testing.T) {
+	for _, target := range []float64{0.15, 0.5} {
+		tr := GenerateTrace(TraceConfig{
+			Objects:         40,
+			MeanObjectBytes: 256 << 10,
+			Redundancy:      target,
+			Seed:            7,
+		})
+		got := tr.MeasuredRedundancy()
+		if math.Abs(got-target) > 0.08 {
+			t.Errorf("redundancy %.3f, want ≈%.2f", got, target)
+		}
+		if tr.TotalBytes == 0 || len(tr.Objects) != 40 {
+			t.Fatal("trace empty")
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{Objects: 5, MeanObjectBytes: 64 << 10, Redundancy: 0.3, Seed: 9}
+	a, b := GenerateTrace(cfg), GenerateTrace(cfg)
+	if a.TotalBytes != b.TotalBytes || a.DupBytes != b.DupBytes {
+		t.Fatal("traces differ")
+	}
+	for i := range a.Objects {
+		if !bytes.Equal(a.Objects[i].Data, b.Objects[i].Data) {
+			t.Fatal("object data differs")
+		}
+	}
+}
+
+func TestTraceZeroRedundancy(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Objects: 10, MeanObjectBytes: 128 << 10, Redundancy: 0, Seed: 1})
+	if tr.DupBytes != 0 {
+		t.Fatalf("zero-redundancy trace has %d dup bytes", tr.DupBytes)
+	}
+}
+
+func TestTraceObjectSizesVary(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Objects: 50, MeanObjectBytes: 256 << 10, Redundancy: 0.2, Seed: 3})
+	min, max := math.MaxInt, 0
+	for _, o := range tr.Objects {
+		if len(o.Data) < min {
+			min = len(o.Data)
+		}
+		if len(o.Data) > max {
+			max = len(o.Data)
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("object sizes too uniform: [%d, %d]", min, max)
+	}
+}
