@@ -11,19 +11,40 @@
 // histograms that the experiment harness turns into the paper's tables and
 // figures.
 //
-// Quick start:
+// Quick start (mirrored by the package Example, which go test keeps
+// honest):
 //
 //	c, err := clam.Open(clam.Options{
 //	    Device:      clam.IntelSSD,
-//	    FlashBytes:  256 << 20, // scaled-down stand-in for the paper's 32 GB
-//	    MemoryBytes: 32 << 20,  // DRAM budget, split per §6.4
+//	    FlashBytes:  16 << 20, // scaled-down stand-in for the paper's 32 GB
+//	    MemoryBytes: 4 << 20,  // DRAM budget, split per §6.4
 //	})
-//	...
-//	c.Insert(fingerprint, diskAddress)
-//	if addr, ok, _ := c.Lookup(fingerprint); ok { ... }
+//	if err != nil {
+//	    // handle err
+//	}
+//	if err := c.Insert(fingerprint, diskAddress); err != nil {
+//	    // handle err
+//	}
+//	if addr, ok, err := c.Lookup(fingerprint); err == nil && ok {
+//	    // use addr
+//	}
 //
-// All methods are safe for concurrent use; operations are serialized
-// internally, matching the paper's blocking-I/O design point.
+// # Concurrency and sharding
+//
+// A CLAM's methods are safe for concurrent use, but operations are
+// serialized behind one mutex, matching the paper's blocking-I/O design
+// point — throughput cannot scale past one core.
+//
+// Sharded is the scaling path: OpenSharded partitions the 64-bit key
+// space across N independent shards by the top log2(N) key bits, each
+// shard a complete CLAM with its own BufferHash, device model, virtual
+// clock and latency histograms. Operations on different shards run fully
+// in parallel; per-shard they keep the paper's serialized semantics. The
+// batch APIs (InsertBatch, LookupBatch, DeleteBatch) group operations by
+// shard and dispatch the groups across a bounded worker pool, and Stats
+// merges per-shard counters and histograms into one aggregate view. Keys
+// are assumed to be uniformly distributed fingerprints (the paper's
+// workloads); hash non-uniform keys first, e.g. with hashutil.Mix64.
 package clam
 
 import (

@@ -1,0 +1,267 @@
+package clam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The differential harness runs a seeded randomized stream of Insert /
+// Update / Delete / Lookup / Flush operations against a CLAM, a Sharded
+// CLAM, and a plain map[uint64]uint64 oracle, asserting agreement modulo
+// the paper's documented semantics:
+//
+//   - Lazy delete (§5.1.1): a deleted key stays invisible until
+//     re-inserted — it may never resurface from an older incarnation.
+//   - Eviction (§5.1.2): once the incarnation ring wraps, old entries may
+//     be silently dropped, so "not found" for a key the oracle still holds
+//     is legal only after the structure reports evictions. A found key,
+//     however, must always carry the oracle's latest value: eviction can
+//     lose data but can never reorder versions or invent values.
+//
+// The strict phase sizes the workload below eviction onset, where the
+// tolerance collapses to exact equality: CLAM, Sharded and the oracle must
+// agree on every lookup.
+
+// store is the operation surface shared by CLAM and Sharded.
+type store interface {
+	Insert(key, value uint64) error
+	Delete(key uint64) error
+	Lookup(key uint64) (uint64, bool, error)
+	Flush() error
+	Stats() Stats
+}
+
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opLookup
+	opFlush
+)
+
+type op struct {
+	kind opKind
+	key  uint64
+	val  uint64
+}
+
+// genOps builds a deterministic op stream over a fixed universe of
+// uniformly distributed keys (the paper's keys are fingerprints, and
+// Sharded routes by high key bits, so uniformity matters).
+func genOps(seed int64, nOps, nKeys int, pLookup, pDelete, pFlush float64) []op {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, nKeys)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	ops := make([]op, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		k := keys[rng.Intn(nKeys)]
+		switch r := rng.Float64(); {
+		case r < pFlush:
+			ops = append(ops, op{kind: opFlush})
+		case r < pFlush+pDelete:
+			ops = append(ops, op{kind: opDelete, key: k})
+		case r < pFlush+pDelete+pLookup:
+			ops = append(ops, op{kind: opLookup, key: k})
+		default:
+			ops = append(ops, op{kind: opInsert, key: k, val: rng.Uint64()})
+		}
+	}
+	return ops
+}
+
+// applyDifferential feeds ops to s and the oracle in lockstep. On every
+// lookup it checks the tolerance invariants; when strict is set it also
+// requires found/not-found to match the oracle exactly.
+func applyDifferential(t *testing.T, name string, s store, ops []op, strict bool) map[uint64]uint64 {
+	t.Helper()
+	oracle := make(map[uint64]uint64)
+	for i, o := range ops {
+		switch o.kind {
+		case opInsert:
+			if err := s.Insert(o.key, o.val); err != nil {
+				t.Fatalf("%s: op %d insert: %v", name, i, err)
+			}
+			oracle[o.key] = o.val
+		case opDelete:
+			if err := s.Delete(o.key); err != nil {
+				t.Fatalf("%s: op %d delete: %v", name, i, err)
+			}
+			delete(oracle, o.key)
+		case opFlush:
+			if err := s.Flush(); err != nil {
+				t.Fatalf("%s: op %d flush: %v", name, i, err)
+			}
+		case opLookup:
+			v, found, err := s.Lookup(o.key)
+			if err != nil {
+				t.Fatalf("%s: op %d lookup: %v", name, i, err)
+			}
+			want, ok := oracle[o.key]
+			if found && (!ok || v != want) {
+				t.Fatalf("%s: op %d lookup(%#x) = %d, oracle has (%d, %v): stale or resurrected value",
+					name, i, o.key, v, want, ok)
+			}
+			if strict && found != ok {
+				t.Fatalf("%s: op %d lookup(%#x) found=%v, oracle=%v (strict phase)",
+					name, i, o.key, found, ok)
+			}
+		}
+	}
+	return oracle
+}
+
+// verifyFinal sweeps the oracle and a sample of absent keys after the
+// stream completes. It returns the number of oracle keys the store lost
+// (legal only in the eviction regime).
+func verifyFinal(t *testing.T, name string, s store, oracle map[uint64]uint64, seed int64) int {
+	t.Helper()
+	lost := 0
+	for k, want := range oracle {
+		v, found, err := s.Lookup(k)
+		if err != nil {
+			t.Fatalf("%s: final lookup: %v", name, err)
+		}
+		if !found {
+			lost++
+			continue
+		}
+		if v != want {
+			t.Fatalf("%s: final lookup(%#x) = %d, oracle %d", name, k, v, want)
+		}
+	}
+	// Keys outside the universe must never be found.
+	rng := rand.New(rand.NewSource(seed + 7))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		if _, ok := oracle[k]; ok {
+			continue
+		}
+		if _, found, _ := s.Lookup(k); found {
+			t.Fatalf("%s: found never-inserted key %#x", name, k)
+		}
+	}
+	return lost
+}
+
+// strictStores opens a CLAM and a 4-shard Sharded sized so the strict op
+// stream stays below eviction onset.
+func strictStores(t *testing.T, policy Policy) (*CLAM, *Sharded) {
+	t.Helper()
+	c, err := Open(Options{
+		Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20,
+		Policy: policy, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSharded(ShardedOptions{
+		Options: Options{
+			Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20,
+			Policy: policy, Seed: 11,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestDifferentialStrictNoEvictions(t *testing.T) {
+	// 40k ops over 20k keys with rare flushes: well below the incarnation
+	// ring capacity, so the lazy-delete/eviction tolerance collapses to
+	// exact equality with the oracle.
+	ops := genOps(1001, 40000, 20000, 0.25, 0.10, 0.0002)
+	c, s := strictStores(t, FIFO)
+
+	co := applyDifferential(t, "clam", c, ops, true)
+	so := applyDifferential(t, "sharded", s, ops, true)
+
+	for _, st := range []struct {
+		name string
+		s    store
+	}{{"clam", c}, {"sharded", s}} {
+		if ev := st.s.Stats().Core.Evictions; ev != 0 {
+			t.Fatalf("%s: strict phase config evicted %d times; retune the test sizes", st.name, ev)
+		}
+		if lost := verifyFinal(t, st.name, st.s, co, 1001); lost != 0 {
+			t.Fatalf("%s: lost %d keys with zero evictions", st.name, lost)
+		}
+	}
+
+	// Same stream, same semantics: both oracles are identical maps, and
+	// every per-key answer must agree between the two implementations.
+	if len(co) != len(so) {
+		t.Fatalf("oracle divergence: clam %d keys, sharded %d", len(co), len(so))
+	}
+	for k, v := range co {
+		cv, cok, _ := c.Lookup(k)
+		sv, sok, _ := s.Lookup(k)
+		if cv != sv || cok != sok || !cok || cv != v {
+			t.Fatalf("clam/sharded diverge on %#x: (%d,%v) vs (%d,%v), oracle %d", k, cv, cok, sv, sok, v)
+		}
+	}
+}
+
+// evictionStores opens deliberately tiny instances (8 KB buffers, 1 MB of
+// flash) so a tens-of-thousands op stream wraps the incarnation ring many
+// times.
+func evictionStores(t *testing.T, policy Policy) (*CLAM, *Sharded) {
+	t.Helper()
+	c, err := Open(Options{
+		Device: IntelSSD, FlashBytes: 1 << 20, MemoryBytes: 256 << 10,
+		BufferKB: 8, Policy: policy, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSharded(ShardedOptions{
+		Options: Options{
+			Device: IntelSSD, FlashBytes: 1 << 20, MemoryBytes: 256 << 10,
+			BufferKB: 8, Policy: policy, Seed: 23,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestDifferentialEvictionRegime(t *testing.T) {
+	for _, policy := range []Policy{FIFO, UpdateBased} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ops := genOps(2002, 60000, 8000, 0.15, 0.14, 0.001)
+			c, s := evictionStores(t, policy)
+
+			co := applyDifferential(t, "clam", c, ops, false)
+			so := applyDifferential(t, "sharded", s, ops, false)
+			if len(co) != len(so) {
+				t.Fatalf("oracle divergence: %d vs %d keys", len(co), len(so))
+			}
+
+			for _, st := range []struct {
+				name string
+				s    store
+			}{{"clam", c}, {"sharded", s}} {
+				stats := st.s.Stats()
+				if stats.Core.Evictions == 0 {
+					t.Fatalf("%s: eviction phase never evicted; retune the test sizes", st.name)
+				}
+				lost := verifyFinal(t, st.name, st.s, co, 2002)
+				// Data loss must be explainable by eviction, and the
+				// structure must still retain a healthy fraction: losing
+				// everything would mean routing or delete-list bugs, not
+				// FIFO eviction.
+				if lost == len(co) {
+					t.Fatalf("%s: lost all %d oracle keys", st.name, lost)
+				}
+				t.Logf("%s/%s: %d oracle keys, %d lost to eviction (%d evictions, %d flushes)",
+					st.name, policy, len(co), lost, stats.Core.Evictions, stats.Core.Flushes)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package clam_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/clam"
+)
+
+// Example mirrors the package quick start: open a CLAM over a simulated
+// SSD, insert fingerprint → address mappings, look them up, update and
+// delete with the paper's lazy semantics.
+func Example() {
+	c, err := clam.Open(clam.Options{
+		Device:      clam.IntelSSD,
+		FlashBytes:  16 << 20, // scaled-down stand-in for the paper's 32 GB
+		MemoryBytes: 4 << 20,  // DRAM budget, split per §6.4
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const fingerprint, diskAddress = 0x9e3779b97f4a7c15, 4096
+	if err := c.Insert(fingerprint, diskAddress); err != nil {
+		log.Fatal(err)
+	}
+	if addr, ok, err := c.Lookup(fingerprint); err == nil && ok {
+		fmt.Println("found at", addr)
+	}
+
+	c.Update(fingerprint, 8192) // lazy update: newest version shadows older ones
+	addr, _, _ := c.Lookup(fingerprint)
+	fmt.Println("updated to", addr)
+
+	c.Delete(fingerprint) // lazy delete (§5.1.1)
+	if _, ok, _ := c.Lookup(fingerprint); !ok {
+		fmt.Println("deleted")
+	}
+	// Output:
+	// found at 4096
+	// updated to 8192
+	// deleted
+}
+
+// ExampleOpenSharded scales the same API across shards: keys route by
+// their high bits, batches fan out over a worker pool, and Stats merges
+// the per-shard state.
+func ExampleOpenSharded() {
+	s, err := clam.OpenSharded(clam.ShardedOptions{
+		Options: clam.Options{
+			Device:      clam.IntelSSD,
+			FlashBytes:  32 << 20, // totals, split evenly across shards
+			MemoryBytes: 8 << 20,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Uniform fingerprints spread across shards; one batch call groups
+	// them by shard and dispatches the groups in parallel.
+	keys := []uint64{0x0123456789abcdef, 0x4aa3bd1c8e21f000, 0x8f00ba4400112233, 0xfedcba9876543210}
+	vals := []uint64{1, 2, 3, 4}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		log.Fatal(err)
+	}
+	got, found, err := s.LookupBatch(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range keys {
+		fmt.Println(found[i], got[i])
+	}
+	fmt.Println("inserts seen:", s.Stats().Core.Inserts)
+	// Output:
+	// true 1
+	// true 2
+	// true 3
+	// true 4
+	// inserts seen: 4
+}

@@ -1,0 +1,340 @@
+package clam
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// ShardedOptions configures a Sharded CLAM. The embedded Options describe
+// the aggregate deployment: FlashBytes and MemoryBytes are totals that are
+// split evenly across shards, and every shard inherits the same device
+// kind, eviction policy and ablation switches. Options.Clock and
+// Options.CustomDevice must be nil — each shard owns a private clock and
+// device model by construction.
+type ShardedOptions struct {
+	Options
+
+	// Shards is the number of independent partitions; it must be a power
+	// of two (the router uses the top log2(Shards) key bits). Default 8.
+	Shards int
+	// Workers bounds the goroutine pool used by the batch operations
+	// (InsertBatch, LookupBatch, DeleteBatch, Flush). Default: one worker
+	// per shard.
+	Workers int
+}
+
+// Sharded is a horizontally partitioned CLAM: the 64-bit key space is split
+// across 2^b shards by the top b key bits, and each shard is a complete,
+// independently locked CLAM — its own BufferHash, device model, virtual
+// clock and latency histograms. Operations on different shards proceed
+// fully in parallel; operations on the same shard serialize behind that
+// shard's mutex, preserving the paper's blocking-I/O semantics per shard.
+//
+// Routing uses raw high key bits (not a hash) so the partition is stable
+// and transparent; keys are assumed to be uniformly distributed
+// fingerprints, as in every workload of the paper. Hash non-uniform keys
+// (e.g. with hashutil.Mix64, a bijection) before storing them.
+//
+// Virtual time is per-shard: each shard's clock advances only by the work
+// that shard performed, modeling one device (and one I/O context) per
+// shard. Aggregate views (Stats, Now) merge the per-shard state on demand.
+type Sharded struct {
+	shards  []*CLAM
+	shift   uint // 64 - log2(len(shards)); shift ≥ 64 routes everything to shard 0
+	workers int
+}
+
+// OpenSharded builds a Sharded CLAM from opts, opening one CLAM per shard
+// with FlashBytes/Shards and MemoryBytes/Shards each and a per-shard
+// derived hash seed.
+func OpenSharded(opts ShardedOptions) (*Sharded, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = 8
+	}
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("clam: Shards must be a power of two, got %d", n)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = n
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("clam: Workers must be positive, got %d", workers)
+	}
+	if workers > n {
+		workers = n
+	}
+	if opts.Clock != nil {
+		return nil, errors.New("clam: ShardedOptions.Clock must be nil; each shard owns its own clock")
+	}
+	if opts.CustomDevice != nil {
+		return nil, errors.New("clam: ShardedOptions.CustomDevice must be nil; each shard owns its own device")
+	}
+	if opts.FlashBytes%int64(n) != 0 {
+		return nil, fmt.Errorf("clam: FlashBytes %d not divisible by %d shards", opts.FlashBytes, n)
+	}
+	if opts.MemoryBytes%int64(n) != 0 {
+		return nil, fmt.Errorf("clam: MemoryBytes %d not divisible by %d shards", opts.MemoryBytes, n)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Sharded{
+		shards:  make([]*CLAM, n),
+		shift:   64 - uint(bits.Len(uint(n))-1),
+		workers: workers,
+	}
+	for i := range s.shards {
+		po := opts.Options
+		po.FlashBytes = opts.FlashBytes / int64(n)
+		po.MemoryBytes = opts.MemoryBytes / int64(n)
+		po.Seed = hashutil.Hash64Seed(uint64(i), seed)
+		c, err := Open(po)
+		if err != nil {
+			return nil, fmt.Errorf("clam: shard %d: %w", i, err)
+		}
+		s.shards[i] = c
+	}
+	return s, nil
+}
+
+// shardIndex routes a key to its owning shard by the top log2(NumShards)
+// bits. Every routing decision — single ops and batch grouping — goes
+// through here.
+func (s *Sharded) shardIndex(key uint64) int {
+	if s.shift >= 64 {
+		return 0
+	}
+	return int(key >> s.shift)
+}
+
+func (s *Sharded) shard(key uint64) *CLAM { return s.shards[s.shardIndex(key)] }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Workers returns the batch worker-pool bound.
+func (s *Sharded) Workers() int { return s.workers }
+
+// Shard exposes shard i for inspection (per-shard stats, clock, device).
+// The returned CLAM is live; its methods take the shard lock as usual.
+func (s *Sharded) Shard(i int) *CLAM { return s.shards[i] }
+
+// Insert adds or updates a (key, value) mapping on the key's shard.
+func (s *Sharded) Insert(key, value uint64) error {
+	return s.shard(key).Insert(key, value)
+}
+
+// Update is an alias of Insert with the paper's lazy-update semantics.
+func (s *Sharded) Update(key, value uint64) error { return s.Insert(key, value) }
+
+// Lookup returns the latest value stored under key.
+func (s *Sharded) Lookup(key uint64) (value uint64, found bool, err error) {
+	return s.shard(key).Lookup(key)
+}
+
+// Delete lazily removes key (§5.1.1) on its shard.
+func (s *Sharded) Delete(key uint64) error {
+	return s.shard(key).Delete(key)
+}
+
+// Flush forces all shards' buffered entries to flash, flushing shards in
+// parallel across the worker pool.
+func (s *Sharded) Flush() error {
+	all := make([]int, len(s.shards))
+	for i := range all {
+		all[i] = i
+	}
+	return s.runShards(all, func(shard int) error {
+		return s.shards[shard].Flush()
+	})
+}
+
+// Elapse advances every shard's virtual clock by d, modeling fleet-wide
+// idle time (during which SSDs garbage-collect in the background).
+func (s *Sharded) Elapse(d time.Duration) {
+	for _, c := range s.shards {
+		c.Elapse(d)
+	}
+}
+
+// Now returns the furthest-ahead shard clock: the virtual makespan of the
+// work performed so far, the number to report for end-to-end completion
+// time of a parallel workload.
+func (s *Sharded) Now() time.Duration {
+	var max time.Duration
+	for _, c := range s.shards {
+		if t := c.Clock().Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ResetMetrics clears every shard's latency histograms and core counters.
+func (s *Sharded) ResetMetrics() {
+	for _, c := range s.shards {
+		c.ResetMetrics()
+	}
+}
+
+// Stats merges the per-shard snapshots into one aggregate view: core
+// counters and device counters are summed, latency histograms are merged
+// before summarizing (so percentiles reflect the true global
+// distribution), and memory footprints are added.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	ins := make([]*metrics.Histogram, 0, len(s.shards))
+	lk := make([]*metrics.Histogram, 0, len(s.shards))
+	del := make([]*metrics.Histogram, 0, len(s.shards))
+	for _, c := range s.shards {
+		cs, dc, mem, hi, hl, hd := c.snapshot()
+		agg.Core.Merge(cs)
+		agg.Device.Add(dc)
+		agg.Memory.Add(mem)
+		ins = append(ins, hi)
+		lk = append(lk, hl)
+		del = append(del, hd)
+	}
+	agg.InsertLatency = metrics.Merged(ins...).Summarize()
+	agg.LookupLatency = metrics.Merged(lk...).Summarize()
+	agg.DeleteLatency = metrics.Merged(del...).Summarize()
+	return agg
+}
+
+// snapshot copies one shard's metric state under its lock.
+func (c *CLAM) snapshot() (core.Stats, storage.Counters, core.MemoryFootprint, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hi, hl, hd := c.insert, c.lookup, c.del
+	return c.bh.Stats(), c.dev.Counters(), c.bh.MemoryFootprint(), &hi, &hl, &hd
+}
+
+// InsertBatch inserts len(keys) mappings, grouping them by shard and
+// dispatching shard groups across the worker pool. Within a shard the
+// batch preserves input order; across shards there is no ordering. On
+// error the batch may be partially applied; all shard errors are joined.
+func (s *Sharded) InsertBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("clam: InsertBatch length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	groups, active := s.groupByShard(keys)
+	return s.runShards(active, func(shard int) error {
+		c := s.shards[shard]
+		for _, i := range groups[shard] {
+			if err := c.Insert(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LookupBatch looks up len(keys) keys and returns per-key results in input
+// order. Grouping and dispatch mirror InsertBatch.
+func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err error) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	groups, active := s.groupByShard(keys)
+	err = s.runShards(active, func(shard int) error {
+		c := s.shards[shard]
+		for _, i := range groups[shard] {
+			v, ok, err := c.Lookup(keys[i])
+			if err != nil {
+				return err
+			}
+			values[i], found[i] = v, ok
+		}
+		return nil
+	})
+	return values, found, err
+}
+
+// DeleteBatch lazily removes len(keys) keys, grouped and dispatched like
+// InsertBatch.
+func (s *Sharded) DeleteBatch(keys []uint64) error {
+	groups, active := s.groupByShard(keys)
+	return s.runShards(active, func(shard int) error {
+		c := s.shards[shard]
+		for _, i := range groups[shard] {
+			if err := c.Delete(keys[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// groupByShard buckets key indices by owning shard and returns the list
+// of shards that received work.
+func (s *Sharded) groupByShard(keys []uint64) (groups [][]int, active []int) {
+	groups = make([][]int, len(s.shards))
+	for i, k := range keys {
+		sh := s.shardIndex(k)
+		if len(groups[sh]) == 0 {
+			active = append(active, sh)
+		}
+		groups[sh] = append(groups[sh], i)
+	}
+	return groups, active
+}
+
+// runShards executes run(shard) for every listed shard, spread over at
+// most s.workers goroutines. Each shard runs on exactly one worker, so
+// per-shard operation order is preserved and workers never contend on the
+// same shard lock.
+func (s *Sharded) runShards(shardIDs []int, run func(shard int) error) error {
+	if len(shardIDs) == 0 {
+		return nil
+	}
+	workers := s.workers
+	if workers > len(shardIDs) {
+		workers = len(shardIDs)
+	}
+	// Every shard is attempted regardless of other shards' failures, so a
+	// batch applies the same set of operations whatever the Workers
+	// setting; all shard errors are joined.
+	if workers == 1 {
+		var errs []error
+		for _, sh := range shardIDs {
+			if err := run(sh); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	work := make(chan int)
+	errs := make([][]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for sh := range work {
+				if err := run(sh); err != nil {
+					errs[w] = append(errs[w], err)
+				}
+			}
+		}(w)
+	}
+	for _, sh := range shardIDs {
+		work <- sh
+	}
+	close(work)
+	wg.Wait()
+	var all []error
+	for _, we := range errs {
+		all = append(all, we...)
+	}
+	return errors.Join(all...)
+}

@@ -1,0 +1,383 @@
+package clam
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func openSharded(t testing.TB, shards, workers int) *Sharded {
+	t.Helper()
+	s, err := OpenSharded(ShardedOptions{
+		Options: Options{
+			Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Seed: 7,
+		},
+		Shards:  shards,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenShardedValidation(t *testing.T) {
+	base := Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20}
+	cases := []struct {
+		name string
+		opts ShardedOptions
+	}{
+		{"non-power-of-two", ShardedOptions{Options: base, Shards: 3}},
+		{"negative shards", ShardedOptions{Options: base, Shards: -4}},
+		{"negative workers", ShardedOptions{Options: base, Shards: 4, Workers: -1}},
+		{"shared clock", ShardedOptions{Options: func() Options { o := base; o.Clock = vclock.New(); return o }(), Shards: 4}},
+		{"indivisible flash", ShardedOptions{Options: func() Options { o := base; o.FlashBytes = 32<<20 + 1; return o }(), Shards: 4}},
+		{"zero flash", ShardedOptions{Options: Options{}, Shards: 4}},
+	}
+	for _, c := range cases {
+		if _, err := OpenSharded(c.opts); err == nil {
+			t.Errorf("%s: OpenSharded accepted invalid options", c.name)
+		}
+	}
+}
+
+func TestOpenShardedDefaults(t *testing.T) {
+	s, err := OpenSharded(ShardedOptions{Options: Options{
+		Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 8 || s.Workers() != 8 {
+		t.Fatalf("defaults: shards=%d workers=%d, want 8/8", s.NumShards(), s.Workers())
+	}
+	// Workers above the shard count are useless; the pool is capped.
+	s = openSharded(t, 4, 99)
+	if s.Workers() != 4 {
+		t.Fatalf("workers not capped at shards: %d", s.Workers())
+	}
+	// One shard must behave as the paper's single-instance baseline.
+	one := openSharded(t, 1, 1)
+	if err := one.Insert(^uint64(0), 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := one.Lookup(^uint64(0)); !ok || v != 9 {
+		t.Fatalf("1-shard lookup: %d %v", v, ok)
+	}
+}
+
+func TestShardedRoutesByHighKeyBits(t *testing.T) {
+	s := openSharded(t, 8, 8)
+	for i := uint64(0); i < 8; i++ {
+		if err := s.Insert(i<<61|12345, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if got := s.Shard(i).Stats().Core.Inserts; got != 1 {
+			t.Errorf("shard %d received %d inserts, want exactly 1", i, got)
+		}
+	}
+}
+
+// TestShardedConcurrentShardIsolation hammers each shard from its own
+// goroutine. Under `go test -race` this fails if any state — buffers,
+// device models, clocks, histograms — leaks across shard boundaries.
+func TestShardedConcurrentShardIsolation(t *testing.T) {
+	const perG = 3000
+	s := openSharded(t, 8, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			base := g << 61 // top 3 bits route to shard g
+			for i := uint64(0); i < perG; i++ {
+				k := base | (i + 1)
+				if err := s.Insert(k, i); err != nil {
+					errs <- err
+					return
+				}
+				if v, ok, err := s.Lookup(k); err != nil || !ok || v != i {
+					errs <- err
+					return
+				}
+				if i%5 == 0 {
+					if err := s.Delete(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Core.Inserts != 8*perG {
+		t.Fatalf("merged inserts = %d, want %d", st.Core.Inserts, 8*perG)
+	}
+	if st.Core.Deletes != 8*(perG/5) {
+		t.Fatalf("merged deletes = %d, want %d", st.Core.Deletes, 8*(perG/5))
+	}
+	if st.InsertLatency.Count != 8*perG || st.LookupLatency.Count != 8*perG {
+		t.Fatalf("merged histogram counts: %d inserts, %d lookups", st.InsertLatency.Count, st.LookupLatency.Count)
+	}
+	for g := uint64(0); g < 8; g++ {
+		k := g<<61 | perG // not a multiple of 5 +1, survives deletion
+		if v, ok, _ := s.Lookup(k); !ok || v != perG-1 {
+			t.Fatalf("shard %d lost key %#x: (%d, %v)", g, k, v, ok)
+		}
+	}
+}
+
+// TestShardedConcurrentOpsAndStats races random-key operations against
+// concurrent Stats, Flush and Now calls: the aggregation path must take
+// every shard lock correctly or -race flags it.
+func TestShardedConcurrentOpsAndStats(t *testing.T) {
+	s := openSharded(t, 4, 4)
+	var ops sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		// Aggregate continuously while operations are in flight; Stats,
+		// Now and Flush must lock each shard correctly or -race fires.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = s.Stats()
+				_ = s.Now()
+				_ = s.Flush()
+			}
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		ops.Add(1)
+		go func(g int64) {
+			defer ops.Done()
+			rng := rand.New(rand.NewSource(g))
+			for i := 0; i < 4000; i++ {
+				k := rng.Uint64()
+				switch i % 4 {
+				case 0, 1:
+					s.Insert(k, uint64(i))
+				case 2:
+					s.Lookup(k)
+				case 3:
+					s.Delete(k)
+				}
+			}
+		}(int64(g))
+	}
+	ops.Wait()
+	close(done)
+	st := s.Stats()
+	if st.Core.Inserts != 6*2000 {
+		t.Fatalf("inserts = %d, want %d", st.Core.Inserts, 6*2000)
+	}
+}
+
+// TestCLAMConcurrentOpsAndStats exercises the single-mutex CLAM path the
+// same way, protecting the documented "safe for concurrent use" contract.
+func TestCLAMConcurrentOpsAndStats(t *testing.T) {
+	c := openSmall(t, IntelSSD)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Stats()
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g))
+			for i := 0; i < 3000; i++ {
+				k := rng.Uint64()
+				c.Insert(k, uint64(i))
+				c.Lookup(k)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(stop)
+	if st := c.Stats(); st.Core.Inserts != 4*3000 {
+		t.Fatalf("inserts = %d, want %d", st.Core.Inserts, 4*3000)
+	}
+}
+
+func TestShardedBatchMatchesSingleOps(t *testing.T) {
+	batched := openSharded(t, 4, 4)
+	single := openSharded(t, 4, 1)
+
+	rng := rand.New(rand.NewSource(99))
+	const n = 20000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		vals[i] = rng.Uint64()
+	}
+	if err := batched.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if err := single.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mix hits and misses.
+	probe := make([]uint64, 0, 3000)
+	for i := 0; i < 2000; i++ {
+		probe = append(probe, keys[rng.Intn(n)])
+	}
+	for i := 0; i < 1000; i++ {
+		probe = append(probe, rng.Uint64())
+	}
+	bv, bok, err := batched.LookupBatch(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range probe {
+		sv, sok, err := single.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bv[i] != sv || bok[i] != sok {
+			t.Fatalf("probe %d (%#x): batch (%d,%v) vs single (%d,%v)", i, k, bv[i], bok[i], sv, sok)
+		}
+	}
+
+	// Deletes via batch must be equivalent too.
+	del := keys[:500]
+	if err := batched.DeleteBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	dv, dok, err := batched.LookupBatch(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range del {
+		if dok[i] {
+			t.Fatalf("deleted key %#x still found (=%d)", del[i], dv[i])
+		}
+	}
+}
+
+func TestShardedBatchPreservesPerShardOrder(t *testing.T) {
+	s := openSharded(t, 4, 4)
+	// Three writes to the same key inside one batch: the last one wins,
+	// because a shard group executes in input order on a single worker.
+	k := uint64(0xdeadbeef) << 32
+	if err := s.InsertBatch([]uint64{k, k, k}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Lookup(k); !ok || v != 3 {
+		t.Fatalf("lookup after dup-key batch: (%d, %v), want (3, true)", v, ok)
+	}
+}
+
+func TestShardedBatchLengthMismatch(t *testing.T) {
+	s := openSharded(t, 2, 2)
+	if err := s.InsertBatch(make([]uint64, 3), make([]uint64, 2)); err == nil {
+		t.Fatal("InsertBatch accepted mismatched lengths")
+	}
+}
+
+// TestShardedConcurrentBatches issues overlapping batch calls from many
+// goroutines; the worker pools of concurrent batches contend on the same
+// shard locks, which -race verifies is safe.
+func TestShardedConcurrentBatches(t *testing.T) {
+	s := openSharded(t, 8, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1000 + g))
+			keys := make([]uint64, 500)
+			vals := make([]uint64, 500)
+			for round := 0; round < 10; round++ {
+				for i := range keys {
+					keys[i] = rng.Uint64()
+					vals[i] = rng.Uint64()
+				}
+				if err := s.InsertBatch(keys, vals); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.LookupBatch(keys); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Core.Inserts != 6*10*500 {
+		t.Fatalf("inserts = %d, want %d", st.Core.Inserts, 6*10*500)
+	}
+}
+
+func TestShardedFlushQuiesces(t *testing.T) {
+	s := openSharded(t, 4, 4)
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, 10000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i], vals[i] = rng.Uint64(), uint64(i)
+	}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Device.Writes == 0 {
+		t.Fatal("flush wrote nothing to any shard device")
+	}
+	vs, ok, err := s.LookupBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !ok[i] || vs[i] != vals[i] {
+			t.Fatalf("post-flush lookup %d: (%d, %v)", i, vs[i], ok[i])
+		}
+	}
+}
+
+func TestShardedPerShardVirtualClocks(t *testing.T) {
+	s := openSharded(t, 4, 4)
+	// Work lands only on shard 0; its clock must advance while others idle.
+	for i := uint64(1); i <= 5000; i++ {
+		if err := s.Insert(i, i); err != nil { // small keys: high bits zero
+			t.Fatal(err)
+		}
+	}
+	if t0 := s.Shard(0).Clock().Now(); t0 == 0 {
+		t.Fatal("shard 0 clock did not advance")
+	}
+	for i := 1; i < 4; i++ {
+		if ti := s.Shard(i).Clock().Now(); ti != 0 {
+			t.Fatalf("idle shard %d clock advanced to %v", i, ti)
+		}
+	}
+	if s.Now() != s.Shard(0).Clock().Now() {
+		t.Fatal("Now() is not the max shard clock")
+	}
+}

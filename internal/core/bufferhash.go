@@ -250,6 +250,14 @@ func (m MemoryFootprint) Total() int64 {
 	return m.BufferBytes + m.BloomBytes + m.DeleteListBytes + m.MetadataBytes
 }
 
+// Add accumulates another footprint into m (sharded aggregation).
+func (m *MemoryFootprint) Add(o MemoryFootprint) {
+	m.BufferBytes += o.BufferBytes
+	m.BloomBytes += o.BloomBytes
+	m.DeleteListBytes += o.DeleteListBytes
+	m.MetadataBytes += o.MetadataBytes
+}
+
 // MemoryFootprint computes the current DRAM footprint.
 func (b *BufferHash) MemoryFootprint() MemoryFootprint {
 	var m MemoryFootprint

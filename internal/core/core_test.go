@@ -731,3 +731,43 @@ func TestStatsHitRate(t *testing.T) {
 		t.Fatal("zero stats rates should be 0")
 	}
 }
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Inserts: 1, Deletes: 2, Lookups: 10, Hits: 4, FlashProbes: 5,
+		SpuriousProbes: 6, Flushes: 7, Evictions: 8, PartialScans: 9,
+		Reinserted: 10, LRUReinserts: 11, Cascades: 12}
+	a.LookupIOHist[0], a.LookupIOHist[7] = 3, 1
+	a.CascadeHist[1] = 2
+	b := Stats{Inserts: 100, Deletes: 200, Lookups: 1000, Hits: 400, FlashProbes: 500,
+		SpuriousProbes: 600, Flushes: 700, Evictions: 800, PartialScans: 900,
+		Reinserted: 1000, LRUReinserts: 1100, Cascades: 1200}
+	b.LookupIOHist[0], b.LookupIOHist[2] = 30, 7
+	b.CascadeHist[1], b.CascadeHist[64] = 20, 5
+	a.Merge(b)
+	if a.Inserts != 101 || a.Deletes != 202 || a.Lookups != 1010 || a.Hits != 404 {
+		t.Fatalf("op counters wrong after merge: %+v", a)
+	}
+	if a.FlashProbes != 505 || a.SpuriousProbes != 606 || a.Flushes != 707 ||
+		a.Evictions != 808 || a.PartialScans != 909 || a.Reinserted != 1010 ||
+		a.LRUReinserts != 1111 || a.Cascades != 1212 {
+		t.Fatalf("structural counters wrong after merge: %+v", a)
+	}
+	if a.LookupIOHist[0] != 33 || a.LookupIOHist[2] != 7 || a.LookupIOHist[7] != 1 {
+		t.Fatalf("LookupIOHist wrong: %v", a.LookupIOHist)
+	}
+	if a.CascadeHist[1] != 22 || a.CascadeHist[64] != 5 {
+		t.Fatalf("CascadeHist wrong: %v", a.CascadeHist)
+	}
+	// HitRate must reflect the pooled counts.
+	if got, want := a.HitRate(), 404.0/1010.0; got != want {
+		t.Fatalf("merged HitRate = %v, want %v", got, want)
+	}
+}
+
+func TestMemoryFootprintAdd(t *testing.T) {
+	a := MemoryFootprint{BufferBytes: 1, BloomBytes: 2, DeleteListBytes: 3, MetadataBytes: 4}
+	a.Add(MemoryFootprint{BufferBytes: 10, BloomBytes: 20, DeleteListBytes: 30, MetadataBytes: 40})
+	if a.Total() != 11+22+33+44 {
+		t.Fatalf("footprint add: %+v", a)
+	}
+}

@@ -51,6 +51,30 @@ func (s *Stats) recordCascade(tried int) {
 	s.CascadeHist[tried]++
 }
 
+// Merge accumulates the counters of o into s. It is the aggregation step
+// behind sharded deployments, where each shard owns an independent
+// BufferHash and a global view is assembled by summing per-shard snapshots.
+func (s *Stats) Merge(o Stats) {
+	s.Inserts += o.Inserts
+	s.Deletes += o.Deletes
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.FlashProbes += o.FlashProbes
+	s.SpuriousProbes += o.SpuriousProbes
+	for i := range s.LookupIOHist {
+		s.LookupIOHist[i] += o.LookupIOHist[i]
+	}
+	s.Flushes += o.Flushes
+	s.Evictions += o.Evictions
+	s.PartialScans += o.PartialScans
+	s.Reinserted += o.Reinserted
+	s.LRUReinserts += o.LRUReinserts
+	s.Cascades += o.Cascades
+	for i := range s.CascadeHist {
+		s.CascadeHist[i] += o.CascadeHist[i]
+	}
+}
+
 // SpuriousRate returns the fraction of lookups that performed at least one
 // wasted flash read (the paper's "spurious lookup rate", Figure 5).
 func (s Stats) SpuriousRate() float64 {

@@ -185,6 +185,22 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
+// Merged returns a fresh histogram holding the union of all samples in hs.
+// It is the aggregation primitive for sharded deployments: each shard
+// records latencies into its own histogram (avoiding cross-core write
+// sharing on the hot path) and a global distribution is assembled on
+// demand. Nil histograms are skipped. The inputs are not modified, but the
+// caller must ensure they are quiescent (or pass snapshot copies).
+func Merged(hs ...*Histogram) *Histogram {
+	m := &Histogram{}
+	for _, h := range hs {
+		if h != nil {
+			m.Merge(h)
+		}
+	}
+	return m
+}
+
 // Reset clears the histogram.
 func (h *Histogram) Reset() {
 	*h = Histogram{}

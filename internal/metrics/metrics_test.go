@@ -221,3 +221,45 @@ func TestBucketIndexMonotonic(t *testing.T) {
 		prev = i
 	}
 }
+
+func TestMergedAggregatesShardHistograms(t *testing.T) {
+	// Three "shards" with disjoint latency ranges; the merged distribution
+	// must match a single histogram fed all samples.
+	var want Histogram
+	parts := make([]*Histogram, 3)
+	rng := rand.New(rand.NewSource(42))
+	for s := range parts {
+		parts[s] = &Histogram{}
+		base := time.Duration(1+s) * time.Millisecond
+		for i := 0; i < 1000; i++ {
+			d := base + time.Duration(rng.Int63n(int64(time.Millisecond)))
+			parts[s].Observe(d)
+			want.Observe(d)
+		}
+	}
+	got := Merged(parts[0], nil, parts[1], parts[2]) // nils are skipped
+	if got.Count() != want.Count() || got.Sum() != want.Sum() {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v", got.Count(), got.Sum(), want.Count(), want.Sum())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Errorf("q%.2f: merged %v, single %v", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+	// Inputs must be untouched.
+	if parts[0].Count() != 1000 {
+		t.Fatal("Merged modified an input histogram")
+	}
+}
+
+func TestMergedEmpty(t *testing.T) {
+	if m := Merged(); m.Count() != 0 {
+		t.Fatal("Merged() of nothing should be empty")
+	}
+	if m := Merged(nil, &Histogram{}); m.Count() != 0 {
+		t.Fatal("Merged of empties should be empty")
+	}
+}

@@ -81,6 +81,21 @@ type Counters struct {
 	BusyTime time.Duration
 }
 
+// Add accumulates another device's counters into c. Sharded deployments sum
+// the per-shard device counters into one fleet-wide view; BusyTime becomes
+// the total service time across all devices (shard clocks are independent,
+// so it can exceed any single clock's reading).
+func (c *Counters) Add(o Counters) {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Erases += o.Erases
+	c.BytesRead += o.BytesRead
+	c.BytesWritten += o.BytesWritten
+	c.PagesMoved += o.PagesMoved
+	c.GCRuns += o.GCRuns
+	c.BusyTime += o.BusyTime
+}
+
 // Device is a virtual-time block storage device.
 //
 // Offsets and lengths must respect the device's page alignment; devices

@@ -175,3 +175,13 @@ func TestSparseStoreQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Reads: 1, Writes: 2, Erases: 3, BytesRead: 4, BytesWritten: 5, PagesMoved: 6, GCRuns: 7, BusyTime: 8}
+	b := Counters{Reads: 10, Writes: 20, Erases: 30, BytesRead: 40, BytesWritten: 50, PagesMoved: 60, GCRuns: 70, BusyTime: 80}
+	a.Add(b)
+	want := Counters{Reads: 11, Writes: 22, Erases: 33, BytesRead: 44, BytesWritten: 55, PagesMoved: 66, GCRuns: 77, BusyTime: 88}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
