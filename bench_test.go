@@ -403,3 +403,104 @@ func BenchmarkCLAMLookup(b *testing.B) {
 	b.ReportMetric(metrics.Ms(st.LookupLatency.Mean), "lookup_ms(virtual)")
 	b.ReportMetric(st.Core.HitRate(), "hit_rate")
 }
+
+// --- batched lookup pipeline (wall-clock) ---
+//
+// These benchmarks compare Sharded.LookupBatch — the PR 2 batched pipeline:
+// phase-A memory resolution, page-deduped address-sorted flash probes
+// overlapped through storage.BatchReader, chunked shard-affine dispatch —
+// against the plain per-key Lookup loop, across shard counts and key
+// distributions. As with BenchmarkShardedSpeedup, the parallel component
+// of the win is bounded by GOMAXPROCS; the batching component (lock, clock
+// and histogram amortization, duplicate-key memoization, same-page read
+// dedupe) is visible at any core count and is largest on skewed keys.
+
+// openBatchedLookupBench warms a sharded instance past eviction onset
+// (700k distinct keys into 512k entries of capacity) so lookups are
+// flash-heavy, and returns the warm universe.
+func openBatchedLookupBench(b *testing.B, shards int) (*clam.Sharded, []uint64) {
+	b.Helper()
+	s, err := clam.OpenSharded(clam.ShardedOptions{
+		Options: clam.Options{
+			Device: clam.IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Seed: 7,
+		},
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(70))
+	const nKeys = 700000
+	universe := make([]uint64, nKeys)
+	vals := make([]uint64, nKeys)
+	for i := range universe {
+		universe[i] = rng.Uint64()
+		vals[i] = uint64(i)
+	}
+	const chunk = 16384
+	for at := 0; at < nKeys; at += chunk {
+		end := at + chunk
+		if end > nKeys {
+			end = nKeys
+		}
+		if err := s.InsertBatch(universe[at:end], vals[at:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.Stats().Core.Evictions == 0 {
+		b.Fatal("warm-up did not reach the eviction regime")
+	}
+	return s, universe
+}
+
+func benchBatchedVsSerialLookup(b *testing.B, shards int, zipf bool) {
+	s, universe := openBatchedLookupBench(b, shards)
+	rng := rand.New(rand.NewSource(71))
+	probes := make([]uint64, 65536)
+	if zipf {
+		zr := rand.NewZipf(rng, 1.2, 1, uint64(len(universe)-1))
+		for i := range probes {
+			probes[i] = universe[zr.Uint64()]
+		}
+	} else {
+		for i := range probes {
+			probes[i] = universe[rng.Intn(len(universe))]
+		}
+	}
+	measure := func(fn func()) time.Duration {
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		serial := measure(func() {
+			for _, k := range probes {
+				if _, _, err := s.Lookup(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		batched := measure(func() {
+			if _, _, err := s.LookupBatch(probes); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = serial.Seconds() / batched.Seconds()
+		b.ReportMetric(float64(len(probes))/batched.Seconds(), "batched_ops/s(wall)")
+		b.ReportMetric(float64(len(probes))/serial.Seconds(), "serial_ops/s(wall)")
+	}
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+func BenchmarkBatchedLookup1Shard(b *testing.B)      { benchBatchedVsSerialLookup(b, 1, false) }
+func BenchmarkBatchedLookup8Shards(b *testing.B)     { benchBatchedVsSerialLookup(b, 8, false) }
+func BenchmarkBatchedLookup8ShardsZipf(b *testing.B) { benchBatchedVsSerialLookup(b, 8, true) }

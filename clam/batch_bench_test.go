@@ -1,0 +1,155 @@
+package clam
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Benchmarks for the batched lookup pipeline against the PR-1 baseline
+// (whole shard groups dispatched to the pool, one blocking Lookup per key).
+// The workload is flash-heavy: the store is warmed past eviction onset so
+// most hits require at least one incarnation page probe, which is where
+// batching (lock amortization, page dedupe, overlapped virtual I/O) pays.
+
+// openBatchBench builds an 8-shard/8-worker instance small enough to warm
+// past eviction onset quickly: 16 MB of flash = 512k entry capacity, warmed
+// with 700k distinct keys so the incarnation rings wrap.
+func openBatchBench(b *testing.B) (*Sharded, []uint64) {
+	b.Helper()
+	s, err := OpenSharded(ShardedOptions{
+		Options: Options{
+			Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Seed: 7,
+		},
+		Shards:  8,
+		Workers: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	const nKeys = 700000
+	universe := make([]uint64, nKeys)
+	vals := make([]uint64, nKeys)
+	for i := range universe {
+		universe[i] = rng.Uint64()
+		vals[i] = uint64(i)
+	}
+	const chunk = 16384
+	for at := 0; at < nKeys; at += chunk {
+		end := min(at+chunk, nKeys)
+		if err := s.InsertBatch(universe[at:end], vals[at:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.Stats().Core.Evictions == 0 {
+		b.Fatal("warm-up did not reach the eviction regime")
+	}
+	return s, universe
+}
+
+// measureLookups times fn, best of 3 (robust against scheduler noise).
+func measureLookups(b *testing.B, fn func()) time.Duration {
+	b.Helper()
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// benchPipelineVsPerKeyDispatch reports the wall-clock speedup of the
+// chunked batched pipeline over the PR-1 per-key group dispatch on the
+// given probe stream. Lookups under FIFO don't mutate state, so both paths
+// run against the same warmed instance. The parallel component of the
+// speedup is bounded by GOMAXPROCS (reported alongside, as in
+// BenchmarkShardedSpeedup); the batching component — lock/clock/histogram
+// amortization, phase-A memoization, page dedupe — survives even on one
+// core, which is what the Zipf variant demonstrates.
+func benchPipelineVsPerKeyDispatch(b *testing.B, s *Sharded, probes []uint64) {
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		perKey := measureLookups(b, func() {
+			if _, _, err := s.lookupBatchPerKey(probes); err != nil {
+				b.Fatal(err)
+			}
+		})
+		pipeline := measureLookups(b, func() {
+			if _, _, err := s.LookupBatch(probes); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = perKey.Seconds() / pipeline.Seconds()
+		b.ReportMetric(float64(len(probes))/pipeline.Seconds(), "pipeline_ops/s(wall)")
+		b.ReportMetric(float64(len(probes))/perKey.Seconds(), "perkey_ops/s(wall)")
+	}
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkLookupBatchVsSerialLoop compares the pipeline against the plain
+// single-caller per-key Lookup loop — the paper's blocking design point —
+// on the flash-heavy uniform workload. On a multi-core host the router adds
+// up-to-min(shards, cores) parallel scaling on top of the batching gain
+// this benchmark shows at any core count.
+func BenchmarkLookupBatchVsSerialLoop(b *testing.B) {
+	s, universe := openBatchBench(b)
+	rng := rand.New(rand.NewSource(61))
+	probes := make([]uint64, 65536)
+	for i := range probes {
+		probes[i] = universe[rng.Intn(len(universe))]
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		loop := measureLookups(b, func() {
+			for _, k := range probes {
+				if _, _, err := s.Lookup(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pipeline := measureLookups(b, func() {
+			if _, _, err := s.LookupBatch(probes); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = loop.Seconds() / pipeline.Seconds()
+		b.ReportMetric(float64(len(probes))/pipeline.Seconds(), "pipeline_ops/s(wall)")
+		b.ReportMetric(float64(len(probes))/loop.Seconds(), "loop_ops/s(wall)")
+	}
+	b.ReportMetric(speedup, "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkLookupBatchUniformVsPerKeyDispatch: uniformly drawn warm keys —
+// the flash-heavy baseline comparison.
+func BenchmarkLookupBatchUniformVsPerKeyDispatch(b *testing.B) {
+	s, universe := openBatchBench(b)
+	rng := rand.New(rand.NewSource(61))
+	probes := make([]uint64, 65536)
+	for i := range probes {
+		probes[i] = universe[rng.Intn(len(universe))]
+	}
+	benchPipelineVsPerKeyDispatch(b, s, probes)
+}
+
+// BenchmarkLookupBatchZipfVsPerKeyDispatch: Zipf(1.2)-ranked warm keys, so
+// one shard's group dwarfs the others — the skew the chunked router was
+// built for. Acceptance target: ≥ 1.3× the PR-1 dispatch.
+func BenchmarkLookupBatchZipfVsPerKeyDispatch(b *testing.B) {
+	s, universe := openBatchBench(b)
+	zr := rand.New(rand.NewSource(62))
+	zipfRank := rand.NewZipf(zr, 1.2, 1, uint64(len(universe)-1))
+	probes := make([]uint64, 65536)
+	for i := range probes {
+		probes[i] = universe[zipfRank.Uint64()]
+	}
+	benchPipelineVsPerKeyDispatch(b, s, probes)
+}

@@ -41,9 +41,21 @@
 // clock and latency histograms. Operations on different shards run fully
 // in parallel; per-shard they keep the paper's serialized semantics. The
 // batch APIs (InsertBatch, LookupBatch, DeleteBatch) group operations by
-// shard and dispatch the groups across a bounded worker pool, and Stats
-// merges per-shard counters and histograms into one aggregate view. Keys
-// are assumed to be uniformly distributed fingerprints (the paper's
+// shard with a counting sort and dispatch chunk-sized tasks from a shared
+// queue across a bounded worker pool: a shard is owned by one worker at a
+// time (preserving per-shard order and cache affinity), and idle workers
+// steal the next pending shard, so skewed batches keep the pool busy.
+// Stats merges per-shard counters and histograms into one aggregate view.
+//
+// LookupBatch additionally runs each chunk through the core batched
+// pipeline: buffer and Bloom work for the whole chunk happens with zero
+// I/O, then the required incarnation page reads are deduped, sorted by
+// device address and overlapped across the device's internal queue lanes
+// (storage.BatchReader), charging the batch the maximum lane time instead
+// of the serial sum. Results and probe counters are identical to a
+// per-key Lookup loop; virtual time and physical read counts are lower.
+//
+// Keys are assumed to be uniformly distributed fingerprints (the paper's
 // workloads); hash non-uniform keys first, e.g. with hashutil.Mix64.
 package clam
 
@@ -307,6 +319,45 @@ func (c *CLAM) Lookup(key uint64) (value uint64, found bool, err error) {
 	res, err := c.bh.Lookup(key)
 	c.lookup.Observe(w.Elapsed())
 	return res.Value, res.Found, err
+}
+
+// LookupBatch looks up len(keys) keys through the core batched pipeline
+// (see internal/core: in-memory phase, coalesced overlapped flash phase,
+// serial-identical resolution) and returns per-key results in input order.
+// The structural counters match a loop of Lookup calls key-for-key; the
+// batch holds the lock once and its flash reads overlap in virtual time.
+//
+// Latency accounting: the batch's virtual elapsed time is spread evenly
+// over its keys, so the lookup histogram records amortized per-key latency
+// and its count stays equal to the number of lookups performed.
+func (c *CLAM) LookupBatch(keys []uint64) (values []uint64, found []bool, err error) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	results := make([]core.LookupResult, len(keys))
+	if err := c.lookupBatchInto(keys, results); err != nil {
+		return nil, nil, err
+	}
+	for i, r := range results {
+		values[i], found[i] = r.Value, r.Found
+	}
+	return values, found, nil
+}
+
+// lookupBatchInto is LookupBatch without the output allocation: results
+// must have len(keys). The sharded batch router calls this with per-worker
+// scratch buffers.
+func (c *CLAM) lookupBatchInto(keys []uint64, results []core.LookupResult) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	if err := c.bh.LookupBatch(keys, results); err != nil {
+		return err
+	}
+	c.lookup.ObserveN(w.Elapsed()/time.Duration(len(keys)), len(keys))
+	return nil
 }
 
 // Delete lazily removes key (§5.1.1).

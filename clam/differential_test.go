@@ -265,3 +265,145 @@ func TestDifferentialEvictionRegime(t *testing.T) {
 		})
 	}
 }
+
+// --- batched-lookup oracle phase ---
+
+// batchStore is a store that also offers the batched lookup pipeline.
+type batchStore interface {
+	store
+	LookupBatch(keys []uint64) ([]uint64, []bool, error)
+}
+
+// applyBatchedDifferential drives the same op stream into a serial-lookup
+// instance and a batched-lookup instance in lockstep. Mutations apply to
+// both immediately; lookups accumulate into a window that is flushed —
+// serial per-key Lookup on one instance, one LookupBatch on the other —
+// before any mutation executes, and at the end of the stream. Every
+// flushed window must agree key-for-key with the other instance and obey
+// the oracle tolerance (strict: exact found/not-found agreement).
+func applyBatchedDifferential(t *testing.T, name string, serial, batched batchStore, ops []op, strict bool) map[uint64]uint64 {
+	t.Helper()
+	oracle := make(map[uint64]uint64)
+	const window = 128
+	var (
+		pkeys []uint64
+		pwant []uint64 // oracle value at enqueue time
+		pok   []bool
+	)
+	flush := func(at int) {
+		if len(pkeys) == 0 {
+			return
+		}
+		bv, bok, err := batched.LookupBatch(pkeys)
+		if err != nil {
+			t.Fatalf("%s: batch before op %d: %v", name, at, err)
+		}
+		for i, k := range pkeys {
+			sv, sok, err := serial.Lookup(k)
+			if err != nil {
+				t.Fatalf("%s: serial lookup before op %d: %v", name, at, err)
+			}
+			if sv != bv[i] || sok != bok[i] {
+				t.Fatalf("%s: op window at %d key %#x: serial (%d,%v) vs batched (%d,%v)",
+					name, at, k, sv, sok, bv[i], bok[i])
+			}
+			if bok[i] && (!pok[i] || bv[i] != pwant[i]) {
+				t.Fatalf("%s: lookup(%#x) = %d, oracle had (%d, %v): stale or resurrected value",
+					name, k, bv[i], pwant[i], pok[i])
+			}
+			if strict && bok[i] != pok[i] {
+				t.Fatalf("%s: lookup(%#x) found=%v, oracle=%v (strict phase)", name, k, bok[i], pok[i])
+			}
+		}
+		pkeys, pwant, pok = pkeys[:0], pwant[:0], pok[:0]
+	}
+	both := func(at int, f func(s store) error) {
+		flush(at)
+		if err := f(serial); err != nil {
+			t.Fatalf("%s: op %d (serial): %v", name, at, err)
+		}
+		if err := f(batched); err != nil {
+			t.Fatalf("%s: op %d (batched): %v", name, at, err)
+		}
+	}
+	for i, o := range ops {
+		switch o.kind {
+		case opInsert:
+			both(i, func(s store) error { return s.Insert(o.key, o.val) })
+			oracle[o.key] = o.val
+		case opDelete:
+			both(i, func(s store) error { return s.Delete(o.key) })
+			delete(oracle, o.key)
+		case opFlush:
+			both(i, func(s store) error { return s.Flush() })
+		case opLookup:
+			w, ok := oracle[o.key]
+			pkeys, pwant, pok = append(pkeys, o.key), append(pwant, w), append(pok, ok)
+			if len(pkeys) == window {
+				flush(i)
+			}
+		}
+	}
+	flush(len(ops))
+	return oracle
+}
+
+// checkLookupCountersEqual asserts the serial and batched instances probed
+// flash identically: same lookups, hits, flash probes, spurious probes and
+// per-lookup I/O histogram — the structural equality the pipeline promises.
+func checkLookupCountersEqual(t *testing.T, name string, serial, batched batchStore) {
+	t.Helper()
+	sc, bc := serial.Stats().Core, batched.Stats().Core
+	if sc != bc {
+		t.Fatalf("%s: core counters diverge:\nserial  %+v\nbatched %+v", name, sc, bc)
+	}
+	if sc.Lookups == 0 || sc.FlashProbes == 0 {
+		t.Fatalf("%s: degenerate stream (lookups=%d flash probes=%d); retune the test",
+			name, sc.Lookups, sc.FlashProbes)
+	}
+}
+
+func TestDifferentialBatchedStrictNoEvictions(t *testing.T) {
+	ops := genOps(3001, 40000, 20000, 0.25, 0.10, 0.0002)
+	cs, ss := strictStores(t, FIFO)
+	cb, sb := strictStores(t, FIFO)
+
+	co := applyBatchedDifferential(t, "clam", cs, cb, ops, true)
+	so := applyBatchedDifferential(t, "sharded", ss, sb, ops, true)
+	if len(co) != len(so) {
+		t.Fatalf("oracle divergence: %d vs %d keys", len(co), len(so))
+	}
+	checkLookupCountersEqual(t, "clam", cs, cb)
+	checkLookupCountersEqual(t, "sharded", ss, sb)
+	for _, st := range []struct {
+		name string
+		s    store
+	}{{"clam", cb}, {"sharded", sb}} {
+		if ev := st.s.Stats().Core.Evictions; ev != 0 {
+			t.Fatalf("%s: strict phase evicted %d times; retune the test sizes", st.name, ev)
+		}
+	}
+}
+
+func TestDifferentialBatchedEvictionRegime(t *testing.T) {
+	for _, policy := range []Policy{FIFO, UpdateBased} {
+		t.Run(policy.String(), func(t *testing.T) {
+			ops := genOps(4002, 60000, 8000, 0.15, 0.14, 0.001)
+			cs, ss := evictionStores(t, policy)
+			cb, sb := evictionStores(t, policy)
+
+			applyBatchedDifferential(t, "clam", cs, cb, ops, false)
+			applyBatchedDifferential(t, "sharded", ss, sb, ops, false)
+			checkLookupCountersEqual(t, "clam", cs, cb)
+			checkLookupCountersEqual(t, "sharded", ss, sb)
+			for _, st := range []struct {
+				name string
+				s    store
+			}{{"clam", cb}, {"sharded", sb}} {
+				if st.s.Stats().Core.Evictions == 0 {
+					t.Fatalf("%s: eviction phase never evicted; retune the test sizes", st.name)
+				}
+			}
+		})
+	}
+}

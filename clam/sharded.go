@@ -29,6 +29,15 @@ type ShardedOptions struct {
 	// (InsertBatch, LookupBatch, DeleteBatch, Flush). Default: one worker
 	// per shard.
 	Workers int
+	// BatchChunk is the batch router's task granularity: each shard's
+	// share of a batch is consumed in chunks of at most this many keys.
+	// A chunk is one core batched-pipeline call, so the setting bounds
+	// gather scratch and the scope of same-page read dedupe, and is the
+	// interval at which the owning worker re-visits the shared queue
+	// state. Shards themselves are stolen whole by idle workers (a shard
+	// serializes behind its own lock, so only one worker can ever make
+	// progress on it). Default 512.
+	BatchChunk int
 }
 
 // Sharded is a horizontally partitioned CLAM: the 64-bit key space is split
@@ -50,6 +59,16 @@ type Sharded struct {
 	shards  []*CLAM
 	shift   uint // 64 - log2(len(shards)); shift ≥ 64 routes everything to shard 0
 	workers int
+	chunk   int       // batch router task granularity (keys per chunk)
+	groups  sync.Pool // *shardGroups, reused across concurrent batches
+	gather  sync.Pool // *gatherScratch, per-worker LookupBatch buffers
+}
+
+// gatherScratch is one worker's chunk-sized gather/scatter buffers for
+// LookupBatch, pooled so steady batch streams allocate nothing per call.
+type gatherScratch struct {
+	keys []uint64
+	res  []core.LookupResult
 }
 
 // OpenSharded builds a Sharded CLAM from opts, opening one CLAM per shard
@@ -89,10 +108,18 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	chunk := opts.BatchChunk
+	if chunk == 0 {
+		chunk = 512
+	}
+	if chunk < 1 {
+		return nil, fmt.Errorf("clam: BatchChunk must be positive, got %d", chunk)
+	}
 	s := &Sharded{
 		shards:  make([]*CLAM, n),
 		shift:   64 - uint(bits.Len(uint(n))-1),
 		workers: workers,
+		chunk:   chunk,
 	}
 	for i := range s.shards {
 		po := opts.Options
@@ -220,18 +247,172 @@ func (c *CLAM) snapshot() (core.Stats, storage.Counters, core.MemoryFootprint, *
 	return c.bh.Stats(), c.dev.Counters(), c.bh.MemoryFootprint(), &hi, &hl, &hd
 }
 
-// InsertBatch inserts len(keys) mappings, grouping them by shard and
-// dispatching shard groups across the worker pool. Within a shard the
-// batch preserves input order; across shards there is no ordering. On
-// error the batch may be partially applied; all shard errors are joined.
+// --- batch grouping and the chunked batch router ---
+
+// shardGroups is the reusable result of grouping a batch's key indices by
+// shard with a counting sort: shard sh owns idx[start[sh]:start[sh+1]], in
+// input order. cur is the router's per-shard consumption cursor. Instances
+// are pooled on the Sharded because batches run concurrently; the old
+// implementation allocated a [][]int plus one slice per active shard on
+// every call.
+type shardGroups struct {
+	idx   []int
+	start []int
+	cur   []int
+}
+
+// groupByShard buckets key indices by owning shard via a two-pass counting
+// sort into a pooled shardGroups. Callers return it with putGroups.
+func (s *Sharded) groupByShard(keys []uint64) *shardGroups {
+	n := len(s.shards)
+	g, _ := s.groups.Get().(*shardGroups)
+	if g == nil {
+		g = &shardGroups{start: make([]int, n+1), cur: make([]int, n)}
+	}
+	if cap(g.idx) < len(keys) {
+		g.idx = make([]int, len(keys))
+	}
+	g.idx = g.idx[:len(keys)]
+	for i := range g.cur {
+		g.cur[i] = 0
+	}
+	for _, k := range keys {
+		g.cur[s.shardIndex(k)]++
+	}
+	g.start[0] = 0
+	for i := 0; i < n; i++ {
+		g.start[i+1] = g.start[i] + g.cur[i]
+		g.cur[i] = g.start[i]
+	}
+	for i, k := range keys {
+		sh := s.shardIndex(k)
+		g.idx[g.cur[sh]] = i
+		g.cur[sh]++
+	}
+	for i := 0; i < n; i++ {
+		g.cur[i] = g.start[i] // rewind: cur becomes the router's cursor
+	}
+	return g
+}
+
+func (s *Sharded) putGroups(g *shardGroups) { s.groups.Put(g) }
+
+// active returns the shards that received work (bench/legacy path only;
+// the router walks start directly).
+func (g *shardGroups) active() []int {
+	var shards []int
+	for sh := 0; sh+1 < len(g.start); sh++ {
+		if g.start[sh+1] > g.start[sh] {
+			shards = append(shards, sh)
+		}
+	}
+	return shards
+}
+
+// runChunked is the batch router: shard groups become chunk-sized tasks
+// consumed from a shared queue, so skewed key distributions no longer leave
+// workers idle while unclaimed work exists. Two rules shape the schedule:
+//
+//   - Single ownership: a shard is claimed by at most one worker at a time.
+//     Its CLAM serializes behind one mutex anyway, and single ownership
+//     preserves within-shard input order.
+//   - Affinity: the owning worker keeps its shard between chunks (the
+//     shard's Bloom banks and buffers are hot in that worker's cache;
+//     migrating per chunk measurably thrashes them) and returns to the
+//     shared queue only when the shard is drained, stealing the next
+//     pending shard the moment one exists.
+//
+// Chunks remain the unit of work between scheduler decisions: each chunk is
+// one core batched-pipeline call (bounding gather scratch and page-dedupe
+// scope) and a natural preemption point for future cancellation/reshard.
+//
+// run is called with the claiming worker's id (0 ≤ worker < Workers(), for
+// per-worker scratch), the shard, and the chunk's key indices. A chunk
+// error stops that shard's remaining chunks; other shards keep going, and
+// all errors are joined — matching the old dispatch's "every shard is
+// attempted" contract.
+func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []int) error) error {
+	var ready []int
+	remaining := 0
+	for sh := 0; sh+1 < len(g.start); sh++ {
+		if g.start[sh+1] > g.start[sh] {
+			ready = append(ready, sh)
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return nil
+	}
+	workers := s.workers
+	if workers > remaining {
+		workers = remaining
+	}
+	if workers == 1 {
+		var errs []error
+		for _, sh := range ready {
+			for g.cur[sh] < g.start[sh+1] {
+				lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
+				g.cur[sh] = hi
+				if err := run(0, sh, g.idx[lo:hi]); err != nil {
+					errs = append(errs, err)
+					break // abandon this shard's remaining chunks
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}
+
+	var (
+		mu   sync.Mutex
+		errs = make([][]error, workers)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			for len(ready) > 0 {
+				sh := ready[0]
+				ready = ready[1:]
+				// Own sh until drained or failed; between chunks only the
+				// cursor advance needs the queue lock.
+				for g.cur[sh] < g.start[sh+1] {
+					lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
+					g.cur[sh] = hi
+					mu.Unlock()
+					err := run(w, sh, g.idx[lo:hi])
+					mu.Lock()
+					if err != nil {
+						errs[w] = append(errs[w], err)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []error
+	for _, we := range errs {
+		all = append(all, we...)
+	}
+	return errors.Join(all...)
+}
+
+// InsertBatch inserts len(keys) mappings, grouped by shard and dispatched
+// through the chunked batch router. Within a shard the batch preserves
+// input order; across shards there is no ordering. On error the batch may
+// be partially applied; all shard errors are joined.
 func (s *Sharded) InsertBatch(keys, values []uint64) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("clam: InsertBatch length mismatch: %d keys, %d values", len(keys), len(values))
 	}
-	groups, active := s.groupByShard(keys)
-	return s.runShards(active, func(shard int) error {
+	g := s.groupByShard(keys)
+	defer s.putGroups(g)
+	return s.runChunked(g, func(_, shard int, idxs []int) error {
 		c := s.shards[shard]
-		for _, i := range groups[shard] {
+		for _, i := range idxs {
 			if err := c.Insert(keys[i], values[i]); err != nil {
 				return err
 			}
@@ -241,14 +422,73 @@ func (s *Sharded) InsertBatch(keys, values []uint64) error {
 }
 
 // LookupBatch looks up len(keys) keys and returns per-key results in input
-// order. Grouping and dispatch mirror InsertBatch.
+// order. Each chunk of a shard's group runs through the core batched
+// lookup pipeline (CLAM.LookupBatch): the in-memory phase answers
+// buffer/Bloom hits with zero I/O, and the flash phase dedupes keys on the
+// same page, sorts probes by device address, and overlaps them across the
+// device's queue lanes. Chunks are dispatched by the stealing router, so
+// a Zipf-skewed batch keeps every worker busy.
 func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err error) {
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
-	groups, active := s.groupByShard(keys)
-	err = s.runShards(active, func(shard int) error {
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	g := s.groupByShard(keys)
+	defer s.putGroups(g)
+	// Per-worker gather/scatter scratch, pooled across calls: chunk
+	// indices are positions in the caller's key array, so keys are
+	// gathered densely for the core batch and results scattered back.
+	scratch := make([]*gatherScratch, s.workers)
+	defer func() {
+		for _, gs := range scratch {
+			if gs != nil {
+				s.gather.Put(gs)
+			}
+		}
+	}()
+	err = s.runChunked(g, func(w, shard int, idxs []int) error {
+		gs := scratch[w]
+		if gs == nil {
+			gs, _ = s.gather.Get().(*gatherScratch)
+			if gs == nil || cap(gs.keys) < s.chunk {
+				gs = &gatherScratch{
+					keys: make([]uint64, 0, s.chunk),
+					res:  make([]core.LookupResult, s.chunk),
+				}
+			}
+			scratch[w] = gs
+		}
+		kb := gs.keys[:0]
+		for _, i := range idxs {
+			kb = append(kb, keys[i])
+		}
+		rb := gs.res[:len(idxs)]
+		if err := s.shards[shard].lookupBatchInto(kb, rb); err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			values[i], found[i] = rb[j].Value, rb[j].Found
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return values, found, nil
+}
+
+// lookupBatchPerKey is PR 1's batch path — whole shard groups dispatched
+// across the worker pool, one blocking Lookup per key — kept unexported as
+// the baseline the batched-pipeline benchmarks compare against.
+func (s *Sharded) lookupBatchPerKey(keys []uint64) (values []uint64, found []bool, err error) {
+	values = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	g := s.groupByShard(keys)
+	defer s.putGroups(g)
+	err = s.runShards(g.active(), func(shard int) error {
 		c := s.shards[shard]
-		for _, i := range groups[shard] {
+		for _, i := range g.idx[g.start[shard]:g.start[shard+1]] {
 			v, ok, err := c.Lookup(keys[i])
 			if err != nil {
 				return err
@@ -263,30 +503,17 @@ func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err
 // DeleteBatch lazily removes len(keys) keys, grouped and dispatched like
 // InsertBatch.
 func (s *Sharded) DeleteBatch(keys []uint64) error {
-	groups, active := s.groupByShard(keys)
-	return s.runShards(active, func(shard int) error {
+	g := s.groupByShard(keys)
+	defer s.putGroups(g)
+	return s.runChunked(g, func(_, shard int, idxs []int) error {
 		c := s.shards[shard]
-		for _, i := range groups[shard] {
+		for _, i := range idxs {
 			if err := c.Delete(keys[i]); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
-}
-
-// groupByShard buckets key indices by owning shard and returns the list
-// of shards that received work.
-func (s *Sharded) groupByShard(keys []uint64) (groups [][]int, active []int) {
-	groups = make([][]int, len(s.shards))
-	for i, k := range keys {
-		sh := s.shardIndex(k)
-		if len(groups[sh]) == 0 {
-			active = append(active, sh)
-		}
-		groups[sh] = append(groups[sh], i)
-	}
-	return groups, active
 }
 
 // runShards executes run(shard) for every listed shard, spread over at

@@ -381,3 +381,132 @@ func TestShardedPerShardVirtualClocks(t *testing.T) {
 		t.Fatal("Now() is not the max shard clock")
 	}
 }
+
+// --- chunked batch router ---
+
+// TestRouterTinyChunksEquivalence forces maximal re-queueing (BatchChunk 1)
+// and checks batch results against per-key ops, so the router's
+// claim/re-enqueue cycle is exercised thousands of times under -race.
+func TestRouterTinyChunksEquivalence(t *testing.T) {
+	s, err := OpenSharded(ShardedOptions{
+		Options:    Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Seed: 7},
+		Shards:     8,
+		Workers:    4,
+		BatchChunk: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := openSharded(t, 8, 1)
+	rng := rand.New(rand.NewSource(44))
+	keys := make([]uint64, 4000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i], vals[i] = rng.Uint64(), rng.Uint64()
+	}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if err := ref.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := s.LookupBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		rv, rok, _ := ref.Lookup(k)
+		if v[i] != rv || ok[i] != rok {
+			t.Fatalf("key %#x: (%d,%v) vs ref (%d,%v)", k, v[i], ok[i], rv, rok)
+		}
+	}
+}
+
+// TestRouterSkewedBatch routes ~70% of a batch to one shard — the scenario
+// that starved the old one-task-per-shard dispatch — and checks results and
+// ordering stay correct.
+func TestRouterSkewedBatch(t *testing.T) {
+	s := openSharded(t, 8, 8)
+	rng := rand.New(rand.NewSource(45))
+	const n = 30000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		if rng.Float64() < 0.7 {
+			keys[i] = rng.Uint64() >> 3 // top 3 bits zero: shard 0
+		} else {
+			keys[i] = rng.Uint64()
+		}
+		vals[i] = uint64(i)
+	}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.LookupBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[uint64]uint64, n)
+	for i, k := range keys {
+		last[k] = vals[i]
+	}
+	for i, k := range keys {
+		if !ok[i] || v[i] != last[k] {
+			t.Fatalf("key %#x: (%d,%v), want (%d,true): same-shard chunk order violated?",
+				k, v[i], ok[i], last[k])
+		}
+	}
+}
+
+// TestLookupBatchMatchesPerKeyPath cross-checks the pipeline path against
+// the retained PR-1 per-key dispatch on the same instance (FIFO policy:
+// lookups don't mutate state, so both paths may run back to back).
+func TestLookupBatchMatchesPerKeyPath(t *testing.T) {
+	s := openSharded(t, 8, 4)
+	rng := rand.New(rand.NewSource(46))
+	keys := make([]uint64, 20000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i], vals[i] = rng.Uint64(), rng.Uint64()
+	}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]uint64, 5000)
+	for i := range probe {
+		if i%3 == 0 {
+			probe[i] = rng.Uint64()
+		} else {
+			probe[i] = keys[rng.Intn(len(keys))]
+		}
+	}
+	lv, lok, err := s.lookupBatchPerKey(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, bok, err := s.LookupBatch(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probe {
+		if lv[i] != bv[i] || lok[i] != bok[i] {
+			t.Fatalf("probe %d: per-key (%d,%v) vs pipeline (%d,%v)", i, lv[i], lok[i], bv[i], bok[i])
+		}
+	}
+}
+
+func TestOpenShardedBatchChunkValidation(t *testing.T) {
+	base := Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20}
+	if _, err := OpenSharded(ShardedOptions{Options: base, Shards: 4, BatchChunk: -1}); err == nil {
+		t.Fatal("negative BatchChunk accepted")
+	}
+	s, err := OpenSharded(ShardedOptions{Options: base, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.chunk != 512 {
+		t.Fatalf("default chunk = %d, want 512", s.chunk)
+	}
+}

@@ -7,18 +7,32 @@
 // phase is driven by -workers concurrent goroutines, reporting wall-clock
 // throughput next to the merged virtual-time latency distributions.
 //
+// With -batch > 0 the measured phase issues lookups through the batched
+// pipeline (LookupBatch) in batches of that size instead of per-key calls;
+// -zipf replaces the uniform key draw with a Zipf(s) popularity
+// distribution (hot keys concentrate on few shards, exercising the batch
+// router's stealing). With -json FILE the tool instead runs a head-to-head
+// lookup comparison — per-key loop vs batched pipeline over the identical
+// key stream — and writes the throughput and virtual p50/p99 latency of
+// both sides as JSON (the perf-trajectory artifact; CI emits
+// BENCH_pr2.json this way).
+//
 // Examples:
 //
 //	clam-bench -device ssd-transcend -flash 64 -mem 12 -ops 200000 \
 //	           -lsr 0.4 -lookups 0.5 -policy lru
 //	clam-bench -shards 8 -workers 8 -flash 64 -mem 12 -ops 400000
+//	clam-bench -shards 8 -workers 8 -batch 4096 -zipf 1.2 \
+//	           -ops 100000 -json BENCH_pr2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -32,8 +46,35 @@ import (
 type table interface {
 	Insert(key, value uint64) error
 	Lookup(key uint64) (uint64, bool, error)
+	LookupBatch(keys []uint64) ([]uint64, []bool, error)
 	ResetMetrics()
 	Stats() clam.Stats
+}
+
+// phaseResult is one side of the -json serial-vs-batched comparison.
+type phaseResult struct {
+	Mode        string  `json:"mode"`
+	Ops         int     `json:"ops"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	HitRate     float64 `json:"hit_rate"`
+	VirtualP50  float64 `json:"virtual_p50_ms"`
+	VirtualP99  float64 `json:"virtual_p99_ms"`
+}
+
+// benchReport is the -json artifact (BENCH_pr2.json in CI).
+type benchReport struct {
+	Device      string      `json:"device"`
+	FlashMB     int64       `json:"flash_mb"`
+	MemMB       int64       `json:"mem_mb"`
+	Shards      int         `json:"shards"`
+	Workers     int         `json:"workers"`
+	Batch       int         `json:"batch"`
+	Zipf        float64     `json:"zipf"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Serial      phaseResult `json:"serial"`
+	Batched     phaseResult `json:"batched"`
+	SpeedupWall float64     `json:"speedup_wall"`
 }
 
 func main() {
@@ -47,6 +88,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	shards := flag.Int("shards", 1, "number of shards (power of two); 1 = the paper's single instance")
 	workers := flag.Int("workers", 0, "concurrent driver goroutines for the sharded measured phase (default: shards)")
+	batch := flag.Int("batch", 0, "lookup batch size for the batched pipeline (0 = per-key lookups)")
+	zipfS := flag.Float64("zipf", 0, "Zipf exponent for skewed keys (0 = uniform; try 1.2)")
+	jsonPath := flag.String("json", "", "run a serial-vs-batched lookup comparison and write JSON here")
 	flag.Parse()
 
 	var kind clam.DeviceKind
@@ -150,8 +194,39 @@ func main() {
 		}
 	}
 
+	// newDraw returns a per-worker deterministic key generator: uniform
+	// over the LSR-derived range, or Zipf-skewed when -zipf is set (hot
+	// ranks map to the same fingerprints the warm-up inserted).
+	newDraw := func(w int64) func() uint64 {
+		if *zipfS > 0 {
+			z := workload.NewZipfStream(*seed+w+1, *zipfS, keyRange)
+			return z.Next
+		}
+		rng := rand.New(rand.NewSource(*seed + w + 1))
+		return func() uint64 {
+			return hashutil.Mix64(uint64(rng.Int63n(int64(keyRange))) + 1)
+		}
+	}
+
+	if *jsonPath != "" {
+		if policy == clam.LRU {
+			// LRU lookups re-insert flash hits into the buffer, so the
+			// first measured phase would warm the store for the second and
+			// bias the comparison.
+			fmt.Fprintln(os.Stderr, "-json requires a policy whose lookups don't mutate state (fifo or update)")
+			os.Exit(2)
+		}
+		runComparison(t, *jsonPath, benchReport{
+			Device: kind.String(), FlashMB: *flashMB, MemMB: *memMB,
+			Shards: max(*shards, 1), Workers: nWorkers, Batch: *batch, Zipf: *zipfS,
+		}, *ops, nWorkers, newDraw)
+		return
+	}
+
 	// Measured phase: nWorkers goroutines, each with an independent
-	// deterministic stream over the same key range.
+	// deterministic stream over the same key range. With -batch > 0 each
+	// worker accumulates its lookups and issues them through the batched
+	// pipeline.
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, nWorkers)
@@ -160,18 +235,50 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w) + 1))
+			draw := newDraw(int64(w))
+			rng := rand.New(rand.NewSource(^(*seed) + int64(w)))
+			var pending []uint64
+			if *batch > 0 {
+				pending = make([]uint64, 0, *batch)
+			}
+			flush := func() error {
+				if len(pending) == 0 {
+					return nil
+				}
+				_, _, err := t.LookupBatch(pending)
+				pending = pending[:0]
+				return err
+			}
 			for i := 0; i < perWorker; i++ {
-				k := hashutil.Mix64(uint64(rng.Int63n(int64(keyRange))) + 1)
+				k := draw()
 				if rng.Float64() < *lookups {
+					if *batch > 0 {
+						pending = append(pending, k)
+						if len(pending) == *batch {
+							if err := flush(); err != nil {
+								errCh <- err
+								return
+							}
+						}
+						continue
+					}
 					if _, _, err := t.Lookup(k); err != nil {
 						errCh <- err
 						return
 					}
-				} else if err := t.Insert(k, uint64(i)); err != nil {
-					errCh <- err
-					return
+				} else {
+					if err := flush(); err != nil { // keep lookup/insert order
+						errCh <- err
+						return
+					}
+					if err := t.Insert(k, uint64(i)); err != nil {
+						errCh <- err
+						return
+					}
 				}
+			}
+			if err := flush(); err != nil {
+				errCh <- err
 			}
 		}(w)
 	}
@@ -218,4 +325,92 @@ func main() {
 			makespan.Round(time.Microsecond))
 	}
 	_ = metrics.Ms
+}
+
+// runComparison is the -json mode: the same lookup stream driven twice —
+// per-key Lookup calls across the worker goroutines, then the batched
+// pipeline — reporting wall throughput and virtual latency percentiles of
+// both, plus the wall speedup. Lookups don't mutate FIFO/update stores, so
+// both phases see an identical structure.
+func runComparison(t table, path string, rep benchReport, ops, nWorkers int, newDraw func(int64) func() uint64) {
+	probes := make([]uint64, ops)
+	draw := newDraw(0)
+	for i := range probes {
+		probes[i] = draw()
+	}
+	if rep.Batch <= 0 {
+		rep.Batch = 4096
+	}
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	measure := func(mode string, run func() error) phaseResult {
+		t.ResetMetrics()
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		st := t.Stats()
+		return phaseResult{
+			Mode:        mode,
+			Ops:         ops,
+			WallSeconds: wall.Seconds(),
+			OpsPerSec:   float64(ops) / wall.Seconds(),
+			HitRate:     st.Core.HitRate(),
+			VirtualP50:  metrics.Ms(st.LookupLatency.P50),
+			VirtualP99:  metrics.Ms(st.LookupLatency.P99),
+		}
+	}
+
+	rep.Serial = measure("per-key", func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, nWorkers)
+		per := (ops + nWorkers - 1) / nWorkers
+		for w := 0; w < nWorkers; w++ {
+			lo := w * per
+			hi := min(lo+per, ops)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(part []uint64) {
+				defer wg.Done()
+				for _, k := range part {
+					if _, _, err := t.Lookup(k); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(probes[lo:hi])
+		}
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	})
+	rep.Batched = measure("batched", func() error {
+		for at := 0; at < ops; at += rep.Batch {
+			if _, _, err := t.LookupBatch(probes[at:min(at+rep.Batch, ops)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	rep.SpeedupWall = rep.Serial.WallSeconds / rep.Batched.WallSeconds
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serial:  %8.0f ops/s  p50 %.4f ms  p99 %.4f ms (virtual)\n",
+		rep.Serial.OpsPerSec, rep.Serial.VirtualP50, rep.Serial.VirtualP99)
+	fmt.Printf("batched: %8.0f ops/s  p50 %.4f ms  p99 %.4f ms (virtual)\n",
+		rep.Batched.OpsPerSec, rep.Batched.VirtualP50, rep.Batched.VirtualP99)
+	fmt.Printf("wall speedup: %.2fx (gomaxprocs %d) -> %s\n", rep.SpeedupWall, rep.GOMAXPROCS, path)
 }

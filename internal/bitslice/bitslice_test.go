@@ -265,3 +265,21 @@ func BenchmarkNaiveQuery(b *testing.B) {
 		ref.Query(uint64(i) * 0x9e3779b97f4a7c15)
 	}
 }
+
+// BenchmarkBankQueryFastrange exercises the non-power-of-two filter size,
+// where DoubleHash reduces probes with Lemire fastrange instead of %; the
+// power-of-two BenchmarkBitslicedQuery above takes the mask path.
+func BenchmarkBankQueryFastrange(b *testing.B) {
+	bank := NewBank(65521, 16, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4096; j++ {
+			bank.AddStaging(rng.Uint64())
+		}
+		bank.Rotate()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Query(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

@@ -55,12 +55,13 @@ func FalsePositiveRate(m uint64, n, h int) float64 {
 	return math.Pow(1-math.Exp(-float64(h)*float64(n)/float64(m)), float64(h))
 }
 
-// Add inserts a pre-hashed key.
+// Add inserts a pre-hashed key. Probe positions use hashutil.Reduce
+// (mask/fastrange) instead of a 64-bit division, matching MayContain.
 func (f *Filter) Add(keyHash uint64) {
 	h1 := keyHash
 	h2 := hashutil.Mix64(keyHash) | 1
 	for i := 0; i < f.h; i++ {
-		p := h1 % f.m
+		p := hashutil.Reduce(h1, f.m)
 		f.bits[p/64] |= 1 << (p % 64)
 		h1 += h2
 	}
@@ -73,7 +74,7 @@ func (f *Filter) MayContain(keyHash uint64) bool {
 	h1 := keyHash
 	h2 := hashutil.Mix64(keyHash) | 1
 	for i := 0; i < f.h; i++ {
-		p := h1 % f.m
+		p := hashutil.Reduce(h1, f.m)
 		if f.bits[p/64]&(1<<(p%64)) == 0 {
 			return false
 		}

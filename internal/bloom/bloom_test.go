@@ -160,3 +160,60 @@ func TestDistinctKeysHashDistinctly(t *testing.T) {
 		t.Skip("coincidental collision (acceptable at fp rate)")
 	}
 }
+
+// mayContainMod is the pre-fastrange probe loop, the baseline for
+// BenchmarkMayContain* (the filters probe identical bit patterns only for
+// power-of-two m, where Reduce degenerates to the same mask).
+func (f *Filter) mayContainMod(keyHash uint64) bool {
+	h1 := keyHash
+	h2 := hashutil.Mix64(keyHash) | 1
+	for i := 0; i < f.h; i++ {
+		p := h1 % f.m
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}
+
+func benchFilter(m uint64) *Filter {
+	f := New(m, 8)
+	for i := uint64(0); i < 4096; i++ {
+		f.Add(hashutil.Mix64(i))
+	}
+	return f
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := benchFilter(65600) // non-power-of-two: fastrange path
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.MayContain(hashutil.Mix64(uint64(i))) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkMayContainMod(b *testing.B) {
+	f := benchFilter(65600)
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.mayContainMod(hashutil.Mix64(uint64(i))) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkMayContainPow2(b *testing.B) {
+	f := benchFilter(1 << 16) // mask path
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.MayContain(hashutil.Mix64(uint64(i))) {
+			hits++
+		}
+	}
+	_ = hits
+}

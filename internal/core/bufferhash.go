@@ -40,8 +40,14 @@ type BufferHash struct {
 	seq       uint64
 
 	imageSize int
-	scratch   []byte
+	scratch   []byte // flush serialization buffer (live during flush)
+	imageBuf  []byte // partial-discard image scan buffer (live during evictOldest)
 	pageBuf   []byte
+	batch     batchScratch
+
+	// deferCPU batches chargeCPU calls into cpuDebt (see LookupBatch).
+	deferCPU bool
+	cpuDebt  time.Duration
 }
 
 // New builds a BufferHash over the configured device. The configuration is
@@ -99,11 +105,18 @@ func (b *BufferHash) newSliceBank(m uint64, h int) filterBank {
 // scratchImage returns the shared serialization buffer.
 func (b *BufferHash) scratchImage() []byte { return b.scratch }
 
-// chargeCPU advances the virtual clock by a CPU cost.
+// chargeCPU advances the virtual clock by a CPU cost. During the batched
+// lookup pipeline's memory phase the charges accrue into one deferred
+// advance (same virtual total, far fewer clock atomics).
 func (b *BufferHash) chargeCPU(d time.Duration) {
-	if d > 0 {
-		b.cfg.Clock.Advance(d)
+	if d <= 0 {
+		return
 	}
+	if b.deferCPU {
+		b.cpuDebt += d
+		return
+	}
+	b.cfg.Clock.Advance(d)
 }
 
 // route hashes a user key to (super table, in-partition key). The first k1
@@ -166,24 +179,38 @@ func (b *BufferHash) Flush() error {
 	return nil
 }
 
-// probeIncarnation reads the single flash page that can hold kh within the
-// incarnation image (§5.1.1) and searches it.
-func (b *BufferHash) probeIncarnation(st *superTable, inc incarnation, kh uint64) (uint64, bool, error) {
+// probeAddr returns the device address and length of the single flash page
+// that can hold kh within an incarnation of st (§5.1.1). Both the serial
+// and batched lookup paths compute probe targets through here.
+func (b *BufferHash) probeAddr(st *superTable, inc incarnation, kh uint64) (addr int64, n int) {
 	params := b.params[st.idx]
 	page := params.PageIndex(kh)
 	off, n := params.PageByteRange(page)
-	buf := b.pageBuf[:n]
-	if _, err := b.cfg.Device.ReadAt(buf, inc.addr+int64(off)); err != nil {
-		return 0, false, fmt.Errorf("core: incarnation read: %w", err)
-	}
-	b.stats.FlashProbes++
-	v, ok := params.LookupInPage(buf, kh)
-	return v, ok, nil
+	return inc.addr + int64(off), n
 }
 
-// readImage reads a whole incarnation image (partial-discard scan path).
+// readProbe reads kh's page of one incarnation image into the shared page
+// buffer (serial lookup path; the batched path reads through a
+// storage.BatchReader instead).
+func (b *BufferHash) readProbe(st *superTable, inc incarnation, kh uint64) ([]byte, error) {
+	addr, n := b.probeAddr(st, inc, kh)
+	buf := b.pageBuf[:n]
+	if _, err := b.cfg.Device.ReadAt(buf, addr); err != nil {
+		return nil, fmt.Errorf("core: incarnation read: %w", err)
+	}
+	return buf, nil
+}
+
+// readImage reads a whole incarnation image (partial-discard scan path)
+// into a per-BufferHash scratch buffer. The buffer is distinct from
+// `scratch`, which is live during flush — the caller scans the image while
+// the flush path may still serialize into `scratch` — and is only valid
+// until the next readImage call.
 func (b *BufferHash) readImage(addr int64) ([]byte, error) {
-	img := make([]byte, b.imageSize)
+	if b.imageBuf == nil {
+		b.imageBuf = make([]byte, b.imageSize)
+	}
+	img := b.imageBuf
 	if _, err := b.cfg.Device.ReadAt(img, addr); err != nil {
 		return nil, fmt.Errorf("core: image read: %w", err)
 	}

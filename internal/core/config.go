@@ -11,6 +11,18 @@
 // BufferHash is not safe for concurrent use; the clam facade serializes
 // access. This mirrors the paper's design point that flash I/Os are
 // blocking operations (§5.2).
+//
+// Lookups come in two shapes sharing one probe-resolution path. Lookup is
+// the paper's serial walk: buffer, Bloom filters, then one blocking page
+// read per candidate incarnation, newest first. LookupBatch runs the same
+// logic as a three-phase pipeline — phase A answers every key's in-memory
+// portion with zero I/O, phase B gathers each probing round's page reads,
+// dedupes same-page keys, sorts by device address and submits them through
+// storage.BatchReader so their virtual latency overlaps across the
+// device's queue lanes, and phase C resolves pages with exactly the serial
+// path's newest-first, stop-on-hit semantics. Counters are identical
+// between the two paths; only time (and physical read count, via dedupe)
+// differs. See batch.go.
 package core
 
 import (

@@ -771,3 +771,202 @@ func TestMemoryFootprintAdd(t *testing.T) {
 		t.Fatalf("footprint add: %+v", a)
 	}
 }
+
+// --- batched lookup pipeline ---
+
+// twinConfigs returns two structurally identical configs on independent
+// devices and clocks, so a serial and a batched instance can be driven in
+// lockstep and compared counter-for-counter.
+func twinConfigs(t testing.TB) (Config, Config) {
+	t.Helper()
+	a, _ := testConfig(t)
+	b, _ := testConfig(t)
+	return a, b
+}
+
+// populateTwin inserts the same stream into both instances: nKeys keys from
+// a fixed universe, enough to wrap the incarnation ring when heavy is set.
+func populateTwin(t *testing.T, a, b *BufferHash, seed int64, nOps, nKeys int) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	universe := make([]uint64, nKeys)
+	for i := range universe {
+		universe[i] = rng.Uint64()
+	}
+	for i := 0; i < nOps; i++ {
+		k := universe[rng.Intn(nKeys)]
+		v := rng.Uint64()
+		if err := a.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(20) == 0 {
+			if err := a.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return universe
+}
+
+func checkBatchAgainstSerial(t *testing.T, serial, batched *BufferHash, universe []uint64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const batchSize = 64
+	keys := make([]uint64, batchSize)
+	results := make([]LookupResult, batchSize)
+	for round := 0; round < 40; round++ {
+		for i := range keys {
+			if rng.Intn(3) == 0 {
+				keys[i] = rng.Uint64() // mostly-absent key
+			} else {
+				keys[i] = universe[rng.Intn(len(universe))]
+			}
+		}
+		if err := batched.LookupBatch(keys, results); err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			want, err := serial.Lookup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[i] != want {
+				t.Fatalf("round %d key %#x: batch %+v, serial %+v", round, k, results[i], want)
+			}
+		}
+	}
+	ss, bs := serial.Stats(), batched.Stats()
+	if ss != bs {
+		t.Fatalf("stats diverge:\nserial  %+v\nbatched %+v", ss, bs)
+	}
+	// The batched device must have performed no more physical reads than
+	// the serial one (page dedupe can only reduce them) while probing the
+	// same pages logically.
+	sr := serial.Config().Device.Counters().Reads
+	brr := batched.Config().Device.Counters().Reads
+	if brr > sr {
+		t.Fatalf("batched device reads %d > serial %d", brr, sr)
+	}
+}
+
+func TestLookupBatchMatchesSerial(t *testing.T) {
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := populateTwin(t, serial, batched, 301, 80000, 60000)
+	checkBatchAgainstSerial(t, serial, batched, universe, 302)
+	if batched.Stats().Evictions == 0 {
+		t.Fatal("workload too small: want the eviction regime")
+	}
+}
+
+func TestLookupBatchMatchesSerialNoBloom(t *testing.T) {
+	ca, cb := twinConfigs(t)
+	ca.DisableBloom, cb.DisableBloom = true, true
+	ca.FilterBitsPerEntry, cb.FilterBitsPerEntry = 0, 0
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := populateTwin(t, serial, batched, 303, 6000, 2000)
+	checkBatchAgainstSerial(t, serial, batched, universe, 304)
+}
+
+func TestLookupBatchMatchesSerialUpdatePolicy(t *testing.T) {
+	ca, cb := twinConfigs(t)
+	ca.Policy, cb.Policy = UpdateBased, UpdateBased
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := populateTwin(t, serial, batched, 305, 12000, 4000)
+	checkBatchAgainstSerial(t, serial, batched, universe, 306)
+}
+
+func TestLookupBatchFlashChipFallbackEquivalence(t *testing.T) {
+	// The raw chip path exercises PartitionedRegions placement; wrapping it
+	// in a plain-Device shim also exercises the non-BatchReader fallback.
+	mk := func(wrap bool) *BufferHash {
+		clock := vclock.New()
+		cfg := Config{
+			Clock:              clock,
+			PartitionBits:      1,
+			BufferBytes:        128 << 10,
+			NumIncarnations:    4,
+			FilterBitsPerEntry: 16,
+			Seed:               42,
+		}
+		var dev storage.Device = flashchip.New(flashchip.DefaultConfig(1<<20), clock)
+		if wrap {
+			dev = plainDevice{dev}
+		}
+		cfg.Device = dev
+		return mustNew(t, cfg)
+	}
+	serial, batched := mk(false), mk(true)
+	universe := populateTwin(t, serial, batched, 307, 9000, 3000)
+	checkBatchAgainstSerial(t, serial, batched, universe, 308)
+}
+
+// plainDevice hides every optional interface except Eraser (which the
+// PartitionedRegions layout requires), forcing the ReadAt fallback.
+type plainDevice struct{ d storage.Device }
+
+func (p plainDevice) ReadAt(b []byte, off int64) (time.Duration, error)  { return p.d.ReadAt(b, off) }
+func (p plainDevice) WriteAt(b []byte, off int64) (time.Duration, error) { return p.d.WriteAt(b, off) }
+func (p plainDevice) Geometry() storage.Geometry                         { return p.d.Geometry() }
+func (p plainDevice) Counters() storage.Counters                         { return p.d.Counters() }
+func (p plainDevice) Erase(off, n int64) (time.Duration, error) {
+	return p.d.(storage.Eraser).Erase(off, n)
+}
+
+func TestLookupBatchVirtualTimeOverlap(t *testing.T) {
+	// On a queued device the batch must finish sooner in virtual time than
+	// the serial loop, while answering identically (checked above).
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := populateTwin(t, serial, batched, 309, 12000, 4000)
+
+	rng := rand.New(rand.NewSource(310))
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = universe[rng.Intn(len(universe))]
+	}
+	results := make([]LookupResult, len(keys))
+
+	st0 := serial.cfg.Clock.Now()
+	for _, k := range keys {
+		if _, err := serial.Lookup(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialTime := serial.cfg.Clock.Now() - st0
+
+	bt0 := batched.cfg.Clock.Now()
+	if err := batched.LookupBatch(keys, results); err != nil {
+		t.Fatal(err)
+	}
+	batchTime := batched.cfg.Clock.Now() - bt0
+
+	if batched.Stats().FlashProbes == 0 {
+		t.Fatal("workload has no flash probes; overlap untested")
+	}
+	if batchTime >= serialTime {
+		t.Fatalf("batch virtual time %v not below serial %v", batchTime, serialTime)
+	}
+	t.Logf("virtual time: serial %v, batched %v (%.1fx)", serialTime, batchTime,
+		float64(serialTime)/float64(batchTime))
+}
+
+func TestLookupBatchLengthMismatch(t *testing.T) {
+	cfg, _ := testConfig(t)
+	b := mustNew(t, cfg)
+	if err := b.LookupBatch(make([]uint64, 3), make([]LookupResult, 2)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/cuckoo"
@@ -96,54 +97,77 @@ func (st *superTable) evictOldestExternal(seq uint64) {
 	st.owner.stats.Evictions++
 }
 
-// lookup implements §5.1.1: buffer first, then incarnations newest-first,
-// reading one flash page per probed incarnation.
-func (st *superTable) lookup(kh uint64) (LookupResult, error) {
+// lookupMem is the in-memory phase of a lookup (phase A of the pipeline):
+// every step that needs no flash I/O. It charges the CPU costs, consults
+// the delete list, the buffer and the Bloom bank, and returns the
+// candidate-incarnation mask for the flash phase (bit j set = window offset
+// j may hold the key). done reports the lookup resolved without I/O; a zero
+// mask with done == false is a clean miss (Bloom filters excluded every
+// incarnation). Serial lookups and LookupBatch share this path exactly, so
+// CPU charges and Bloom behaviour cannot drift apart.
+func (st *superTable) lookupMem(kh uint64) (res LookupResult, mask uint64, done bool) {
 	cfg := &st.owner.cfg
 	st.owner.chargeCPU(cfg.CPU.BufferLookup)
 
 	if _, deleted := st.deleteList[kh]; deleted {
-		return LookupResult{}, nil
+		return res, 0, true
 	}
 	if v, ok := st.buf.Get(kh); ok {
-		return LookupResult{Value: v, Found: true}, nil
+		return LookupResult{Value: v, Found: true}, 0, true
 	}
 	if st.live == 0 {
-		return LookupResult{}, nil
+		return res, 0, true
 	}
-
-	var res LookupResult
-	k := cfg.NumIncarnations
 	valid := st.validMask()
-	var mask uint64
 	if cfg.DisableBloom {
-		mask = valid
-	} else {
-		if cfg.DisableBitslice {
-			st.owner.chargeCPU(cfg.CPU.BloomQueryNaive)
-		} else {
-			st.owner.chargeCPU(cfg.CPU.BloomQuery)
-		}
-		mask = st.bank.Query(kh) & valid
+		return res, valid, false
 	}
-	for j := k - 1; j >= st.oldest(); j-- {
-		if mask&(1<<j) == 0 {
-			continue
-		}
-		v, ok, err := st.owner.probeIncarnation(st, st.incs[j], kh)
+	if cfg.DisableBitslice {
+		st.owner.chargeCPU(cfg.CPU.BloomQueryNaive)
+	} else {
+		st.owner.chargeCPU(cfg.CPU.BloomQuery)
+	}
+	return res, st.bank.Query(kh) & valid, false
+}
+
+// resolveProbe is the probe-resolution step shared by the serial and
+// batched lookup paths (phase C of the pipeline): account one incarnation
+// page probe, search the page image for kh, and on a hit apply the
+// LRU re-insertion semantics. It reports whether the key was found.
+func (st *superTable) resolveProbe(res *LookupResult, pageImage []byte, kh uint64) bool {
+	st.owner.stats.FlashProbes++
+	res.FlashReads++
+	v, ok := st.owner.tableParams(st.idx).LookupInPage(pageImage, kh)
+	if !ok {
+		res.Spurious++
+		return false
+	}
+	res.Value, res.Found = v, true
+	if st.owner.cfg.Policy == LRU {
+		st.reinsertLRU(kh, v)
+	}
+	return true
+}
+
+// lookup implements §5.1.1: buffer first, then incarnations newest-first,
+// reading one flash page per probed incarnation. It is lookupMem followed
+// by a serial walk over the candidate mask through resolveProbe — the same
+// two helpers the batched pipeline composes with overlapped I/O.
+func (st *superTable) lookup(kh uint64) (LookupResult, error) {
+	res, mask, done := st.lookupMem(kh)
+	if done {
+		return res, nil
+	}
+	for mask != 0 {
+		j := bits.Len64(mask) - 1 // newest remaining candidate
+		mask &^= 1 << j
+		page, err := st.owner.readProbe(st, st.incs[j], kh)
 		if err != nil {
 			return res, err
 		}
-		res.FlashReads++
-		if ok {
-			res.Value = v
-			res.Found = true
-			if cfg.Policy == LRU {
-				st.reinsertLRU(kh, v)
-			}
+		if st.resolveProbe(&res, page, kh) {
 			return res, nil
 		}
-		res.Spurious++
 	}
 	return res, nil
 }

@@ -176,3 +176,54 @@ func TestCounters(t *testing.T) {
 		t.Fatalf("counters = %+v", c)
 	}
 }
+
+func TestReadBatchElevatorBeatsRandomSerial(t *testing.T) {
+	d, clock := newDisk(64 << 20)
+	rng := rand.New(rand.NewSource(99))
+	const n = 32
+	offs := make([]int64, n)
+	for i := range offs {
+		offs[i] = rng.Int63n(64<<20 - 4096)
+		if _, err := d.WriteAt([]byte{byte(i + 1)}, offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial baseline in random order on a twin disk.
+	d2, _ := newDisk(64 << 20)
+	var serial time.Duration
+	for _, o := range offs {
+		lat, err := d2.ReadAt(make([]byte, 1), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial += lat
+	}
+	reqs := make([]storage.ReadReq, n)
+	for i, o := range offs {
+		reqs[i] = storage.ReadReq{P: make([]byte, 1), Off: o}
+	}
+	before := clock.Now()
+	batch, err := d.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before != batch {
+		t.Fatal("clock advance != charged batch latency")
+	}
+	// The elevator pass pays shorter seeks; random serial pays near-average
+	// seeks plus rotation per request. Expect a solid win.
+	if batch >= serial*3/4 {
+		t.Fatalf("elevator batch %v, random serial %v: expected <3/4", batch, serial)
+	}
+	for _, r := range reqs {
+		found := false
+		for i, o := range offs {
+			if o == r.Off && r.P[0] == byte(i+1) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("bad data at off %d: %d", r.Off, r.P[0])
+		}
+	}
+}

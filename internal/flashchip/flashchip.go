@@ -67,16 +67,23 @@ type Config struct {
 	PageSize  int   // bytes; default 2048
 	BlockSize int   // bytes; default 128 KiB
 	Costs     CostModel
+
+	// Planes is the number of planes a batched read can sense in parallel
+	// (multi-plane page reads). Individual ReadAt calls remain blocking
+	// single-plane operations; only ReadBatch overlaps. 0 or 1 disables
+	// overlap.
+	Planes int
 }
 
 // DefaultConfig returns a chip configuration with the paper's geometry
-// (2 KB pages, 128 KB blocks) and DefaultCosts.
+// (2 KB pages, 128 KB blocks, two-plane dies) and DefaultCosts.
 func DefaultConfig(capacity int64) Config {
 	return Config{
 		Capacity:  capacity,
 		PageSize:  2048,
 		BlockSize: 128 << 10,
 		Costs:     DefaultCosts(),
+		Planes:    2,
 	}
 }
 
@@ -91,6 +98,7 @@ type Chip struct {
 	eraseCnt []uint32
 	counters storage.Counters
 	fault    storage.FaultFunc
+	batchSvc []time.Duration // ReadBatch per-request service-time scratch
 }
 
 // New builds a chip. It panics on invalid geometry, since configurations are
@@ -155,6 +163,54 @@ func (c *Chip) ReadAt(p []byte, off int64) (time.Duration, error) {
 	c.counters.BusyTime += lat
 	c.clock.Advance(lat)
 	return lat, nil
+}
+
+// ReadBatch implements storage.BatchReader with the shared overlap model:
+// address-sorted service, sequential runs paying the fixed array-access
+// setup once, and per-request sense+transfer times overlapped across the
+// chip's planes (max lane total, not sum).
+func (c *Chip) ReadBatch(reqs []storage.ReadReq) (time.Duration, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	g := c.Geometry()
+	for _, r := range reqs {
+		if err := storage.CheckRange(g, r.Off, int64(len(r.P)), 1); err != nil {
+			return 0, err
+		}
+		if c.fault != nil {
+			if err := c.fault(storage.OpRead, r.Off, len(r.P)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	storage.SortReadReqs(reqs)
+	ps := int64(c.cfg.PageSize)
+	if cap(c.batchSvc) < len(reqs) {
+		c.batchSvc = make([]time.Duration, len(reqs))
+	}
+	svc := c.batchSvc[:len(reqs)]
+	prevEnd := int64(-1)
+	for i, r := range reqs {
+		firstPage := r.Off / ps
+		lastPage := (r.Off + int64(len(r.P)) - 1) / ps
+		if len(r.P) == 0 {
+			lastPage = firstPage
+		}
+		lat := time.Duration((lastPage-firstPage+1)*ps) * c.cfg.Costs.ReadPerByte
+		if r.Off != prevEnd {
+			lat += c.cfg.Costs.ReadFixed
+		}
+		prevEnd = r.Off + int64(len(r.P))
+		svc[i] = lat
+		c.store.ReadAt(r.P, r.Off)
+		c.counters.Reads++
+		c.counters.BytesRead += uint64(len(r.P))
+	}
+	total := storage.OverlapLanes(svc, c.cfg.Planes)
+	c.counters.BusyTime += total
+	c.clock.Advance(total)
+	return total, nil
 }
 
 // WriteAt programs len(p) bytes at off. The range must be page-aligned,
@@ -235,6 +291,7 @@ func (c *Chip) Erase(off, n int64) (time.Duration, error) {
 }
 
 var (
-	_ storage.Device = (*Chip)(nil)
-	_ storage.Eraser = (*Chip)(nil)
+	_ storage.Device      = (*Chip)(nil)
+	_ storage.Eraser      = (*Chip)(nil)
+	_ storage.BatchReader = (*Chip)(nil)
 )

@@ -269,3 +269,59 @@ func TestZeroLengthIO(t *testing.T) {
 		t.Fatalf("zero-length write failed: %v", err)
 	}
 }
+
+func TestReadBatchPlaneOverlap(t *testing.T) {
+	c, clock := newTestChip(t, 1<<20)
+	ps := int64(c.cfg.PageSize)
+	if _, err := c.WriteAt(make([]byte, 8*ps), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Four discontiguous page reads over two planes: each pays the fixed
+	// sense cost (distinct runs); two lanes of two requests each.
+	reqs := []storage.ReadReq{
+		{P: make([]byte, ps), Off: 6 * ps},
+		{P: make([]byte, ps), Off: 0},
+		{P: make([]byte, ps), Off: 4 * ps},
+		{P: make([]byte, ps), Off: 2 * ps},
+	}
+	before := clock.Now()
+	batch, err := c.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before != batch {
+		t.Fatal("clock advance != batch latency")
+	}
+	per := c.cfg.Costs.Read(ps)
+	if want := 2 * per; batch != want {
+		t.Fatalf("2-plane batch of 4 page reads = %v, want %v", batch, want)
+	}
+	if got := c.Counters().Reads; got < 4 {
+		t.Fatalf("Reads = %d, want per-request accounting", got)
+	}
+}
+
+func TestReadBatchSequentialRun(t *testing.T) {
+	c, _ := newTestChip(t, 1<<20)
+	ps := int64(c.cfg.PageSize)
+	if _, err := c.WriteAt(make([]byte, 4*ps), 0); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []storage.ReadReq{
+		{P: make([]byte, ps), Off: 0},
+		{P: make([]byte, ps), Off: ps},
+		{P: make([]byte, ps), Off: 2 * ps},
+		{P: make([]byte, ps), Off: 3 * ps},
+	}
+	batch, err := c.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perByte := time.Duration(ps) * c.cfg.Costs.ReadPerByte
+	// One fixed cost on the run head; transfers split over two planes. The
+	// head lane carries fixed + 2 transfers.
+	want := c.cfg.Costs.ReadFixed + 2*perByte
+	if batch != want {
+		t.Fatalf("sequential batch = %v, want %v", batch, want)
+	}
+}

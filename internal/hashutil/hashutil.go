@@ -6,7 +6,10 @@
 // bits are the key within it).
 package hashutil
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Mix64 applies the SplitMix64 finalizer, a fast full-avalanche 64-bit mixer.
 // It is the core primitive from which all seeded hashes below are derived.
@@ -41,18 +44,46 @@ func HashBytes(p []byte, seed uint64) uint64 {
 	return Mix64(h)
 }
 
+// FastRange64 maps a 64-bit hash uniformly into [0, m) without a division,
+// using Lemire's multiply-shift reduction: the high 64 bits of x·m. A 64-bit
+// integer division costs ~20-40 cycles on current cores; the multiply costs
+// ~3, which matters on the Bloom-query hot path where every lookup performs
+// h reductions before any flash I/O is even considered.
+func FastRange64(x, m uint64) uint64 {
+	hi, _ := bits.Mul64(x, m)
+	return hi
+}
+
+// Reduce maps x into [0, m): a mask when m is a power of two (preserving the
+// full-residue coverage of odd double-hashing strides), FastRange64 otherwise.
+func Reduce(x, m uint64) uint64 {
+	if m&(m-1) == 0 {
+		return x & (m - 1)
+	}
+	return FastRange64(x, m)
+}
+
 // DoubleHash expands a single 64-bit hash into n hash values using the
 // Kirsch–Mitzenmacher construction g_i(x) = h1(x) + i*h2(x). The two base
 // functions are the two 32-bit halves, re-mixed so that h2 is odd (odd
 // strides visit all residues modulo a power of two).
 //
-// Values are reduced modulo m. DoubleHash appends to dst and returns it, so
-// callers can reuse a scratch slice across calls.
+// Values are reduced into [0, m) with Reduce (mask or fastrange — never a
+// division). DoubleHash appends to dst and returns it, so callers can reuse
+// a scratch slice across calls.
 func DoubleHash(h uint64, n int, m uint64, dst []uint64) []uint64 {
 	h1 := h
 	h2 := Mix64(h) | 1
+	if m&(m-1) == 0 {
+		mask := m - 1
+		for i := 0; i < n; i++ {
+			dst = append(dst, h1&mask)
+			h1 += h2
+		}
+		return dst
+	}
 	for i := 0; i < n; i++ {
-		dst = append(dst, h1%m)
+		dst = append(dst, FastRange64(h1, m))
 		h1 += h2
 	}
 	return dst

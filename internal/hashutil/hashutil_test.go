@@ -165,3 +165,68 @@ func TestEntryRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReduceInRange(t *testing.T) {
+	f := func(x uint64, m64 uint32) bool {
+		m := uint64(m64) + 1
+		return Reduce(x, m) < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMatchesMaskForPow2(t *testing.T) {
+	for shift := uint(0); shift < 40; shift += 7 {
+		m := uint64(1) << shift
+		for i := uint64(0); i < 1000; i++ {
+			x := Mix64(i)
+			if Reduce(x, m) != x&(m-1) {
+				t.Fatalf("Reduce(%#x, %d) != mask", x, m)
+			}
+		}
+	}
+}
+
+func TestFastRange64Uniformity(t *testing.T) {
+	// Bucket 1e5 mixed values into 97 buckets (non-power-of-two); every
+	// bucket should receive close to its fair share.
+	const m, n = 97, 100000
+	var counts [m]int
+	for i := uint64(0); i < n; i++ {
+		counts[FastRange64(Mix64(i), m)]++
+	}
+	want := float64(n) / m
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("bucket %d has %d values, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+// doubleHashMod is the pre-fastrange reduction, kept in the tests as the
+// baseline for the reduction benchmarks and as a distribution cross-check.
+func doubleHashMod(h uint64, n int, m uint64, dst []uint64) []uint64 {
+	h1 := h
+	h2 := Mix64(h) | 1
+	for i := 0; i < n; i++ {
+		dst = append(dst, h1%m)
+		h1 += h2
+	}
+	return dst
+}
+
+func benchDoubleHash(b *testing.B, m uint64, fn func(h uint64, n int, m uint64, dst []uint64) []uint64) {
+	var scratch [8]uint64
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		out := fn(Mix64(uint64(i)), 8, m, scratch[:0])
+		sink += out[0]
+	}
+	_ = sink
+}
+
+func BenchmarkDoubleHashFastrange(b *testing.B) { benchDoubleHash(b, 65521, DoubleHash) }
+func BenchmarkDoubleHashMod(b *testing.B)       { benchDoubleHash(b, 65521, doubleHashMod) }
+func BenchmarkDoubleHashPow2Mask(b *testing.B)  { benchDoubleHash(b, 1<<16, DoubleHash) }
+func BenchmarkDoubleHashPow2Mod(b *testing.B)   { benchDoubleHash(b, 1<<16, doubleHashMod) }

@@ -408,3 +408,130 @@ func TestZeroCapacityPanics(t *testing.T) {
 	}()
 	New(IntelX18M(), 0, vclock.New())
 }
+
+func TestReadBatchOverlapsLanes(t *testing.T) {
+	s, clock := newIntel(4 << 20)
+	// Lay down identifiable data across 16 scattered sectors.
+	sec := int64(s.Profile().SectorSize)
+	offs := []int64{30, 2, 17, 9, 25, 4, 11, 28, 0, 19, 6, 22, 13, 31, 8, 15}
+	for i, o := range offs {
+		page := bytes.Repeat([]byte{byte(i + 1)}, int(sec))
+		if _, err := s.WriteAt(page, o*sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial baseline on a twin device.
+	s2, _ := newIntel(4 << 20)
+	for i, o := range offs {
+		page := bytes.Repeat([]byte{byte(i + 1)}, int(sec))
+		if _, err := s2.WriteAt(page, o*sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var serial time.Duration
+	for _, o := range offs {
+		buf := make([]byte, sec)
+		lat, err := s2.ReadAt(buf, o*sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial += lat
+	}
+
+	reqs := make([]storage.ReadReq, len(offs))
+	for i, o := range offs {
+		reqs[i] = storage.ReadReq{P: make([]byte, sec), Off: o * sec}
+	}
+	before := clock.Now()
+	batch, err := s.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced := clock.Now() - before; advanced != batch {
+		t.Fatalf("clock advanced %v, batch charged %v", advanced, batch)
+	}
+	// 16 random reads over 8 lanes must land well under the serial sum and
+	// at or above the single-lane bandwidth floor (sum/QueueDepth).
+	if batch >= serial {
+		t.Fatalf("batch %v not faster than serial %v", batch, serial)
+	}
+	if floor := serial / time.Duration(s.Profile().QueueDepth); batch < floor/2 {
+		t.Fatalf("batch %v implausibly below lane floor %v", batch, floor)
+	}
+	// Data integrity: reqs were sorted in place, so identify by offset.
+	for _, r := range reqs {
+		i := -1
+		for j, o := range offs {
+			if o*sec == r.Off {
+				i = j
+			}
+		}
+		if i < 0 || !bytes.Equal(r.P, bytes.Repeat([]byte{byte(i + 1)}, int(sec))) {
+			t.Fatalf("data mismatch at off %d", r.Off)
+		}
+	}
+	if got := s.Counters().Reads; got != uint64(len(offs)) {
+		t.Fatalf("Reads = %d, want %d (every request accounted)", got, len(offs))
+	}
+}
+
+func TestReadBatchSequentialRunDiscount(t *testing.T) {
+	s, _ := newIntel(4 << 20)
+	sec := int64(s.Profile().SectorSize)
+	buf := make([]byte, 8*sec)
+	if _, err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 8 contiguous sector reads: one fixed cost + 8 transfers, overlapped.
+	reqs := make([]storage.ReadReq, 8)
+	for i := range reqs {
+		reqs[i] = storage.ReadReq{P: make([]byte, sec), Off: int64(i) * sec}
+	}
+	batch, err := s.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Profile()
+	perByte := time.Duration(sec) * p.ReadPerByte
+	// The run's lone fixed cost and the 8 transfers spread over 8 lanes:
+	// max lane = ReadFixed + perByte.
+	want := p.ReadFixed + perByte
+	if batch != want {
+		t.Fatalf("sequential batch = %v, want %v", batch, want)
+	}
+}
+
+func TestReadBatchErrorsLeaveClockAlone(t *testing.T) {
+	s, clock := newIntel(1 << 20)
+	reqs := []storage.ReadReq{{P: make([]byte, 4096), Off: 1 << 30}}
+	if _, err := s.ReadBatch(reqs); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if clock.Now() != 0 {
+		t.Fatal("failed batch advanced the clock")
+	}
+}
+
+func TestReadBatchTranscendSingleLane(t *testing.T) {
+	// QueueDepth 1: the batch equals the sorted serial sum with sequential
+	// discounting — no overlap on the old device.
+	s, _ := newTranscend(4 << 20)
+	sec := int64(s.Profile().SectorSize)
+	if _, err := s.WriteAt(make([]byte, 4*sec), 0); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []storage.ReadReq{
+		{P: make([]byte, sec), Off: 2 * sec},
+		{P: make([]byte, sec), Off: 0},
+	}
+	batch, err := s.ReadBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Profile()
+	perByte := time.Duration(sec) * p.ReadPerByte
+	want := 2*p.ReadFixed + 2*perByte // discontiguous: two runs, one lane
+	if batch != want {
+		t.Fatalf("transcend batch = %v, want %v", batch, want)
+	}
+}

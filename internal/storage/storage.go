@@ -6,6 +6,14 @@
 // latency and advances the shared vclock.Clock by it. Devices store real
 // bytes, so data integrity is verified end to end by the tests — the latency
 // model and the data path are exercised together.
+//
+// Besides the one-at-a-time Device interface, devices may implement
+// BatchReader: a queued submission of many reads whose service times
+// overlap across the device's internal parallelism (SSD channels, NAND
+// planes) after an address sort, with sequential runs paying the fixed
+// command cost once. The batched lookup pipeline in internal/core feeds
+// coalesced flash probes through this interface; see BatchReader for the
+// precise three-step overlap model.
 package storage
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestGeometry(t *testing.T) {
@@ -183,5 +184,37 @@ func TestCountersAdd(t *testing.T) {
 	want := Counters{Reads: 11, Writes: 22, Erases: 33, BytesRead: 44, BytesWritten: 55, PagesMoved: 66, GCRuns: 77, BusyTime: 88}
 	if a != want {
 		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+func TestOverlapLanes(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	svc := []time.Duration{ms(4), ms(1), ms(1), ms(2)}
+	if got := OverlapLanes(svc, 1); got != ms(8) {
+		t.Fatalf("1 lane = %v, want serial sum %v", got, ms(8))
+	}
+	// Least-loaded placement: 4 | 1+1+2 -> max 4.
+	if got := OverlapLanes(svc, 2); got != ms(4) {
+		t.Fatalf("2 lanes = %v, want %v", got, ms(4))
+	}
+	// More lanes than requests: bounded by the largest request.
+	if got := OverlapLanes(svc, 16); got != ms(4) {
+		t.Fatalf("16 lanes = %v, want %v", got, ms(4))
+	}
+	if got := OverlapLanes(nil, 4); got != 0 {
+		t.Fatalf("empty batch = %v, want 0", got)
+	}
+}
+
+func TestSortReadReqsStable(t *testing.T) {
+	a := make([]byte, 1)
+	b := make([]byte, 2)
+	reqs := []ReadReq{{P: a, Off: 8}, {P: b, Off: 8}, {P: a, Off: 0}}
+	SortReadReqs(reqs)
+	if reqs[0].Off != 0 || reqs[1].Off != 8 || reqs[2].Off != 8 {
+		t.Fatalf("not sorted: %+v", reqs)
+	}
+	if len(reqs[1].P) != 1 || len(reqs[2].P) != 2 {
+		t.Fatal("equal offsets reordered")
 	}
 }

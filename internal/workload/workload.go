@@ -60,6 +60,51 @@ func (s *KeyStream) NextValue() uint64 {
 	return s.seq
 }
 
+// ZipfStream draws keys from a Zipf popularity distribution over a fixed
+// rank range — the skewed counterpart of KeyStream, used to exercise the
+// sharded batch router under hot-key concentration. Rank r is mapped to a
+// stable fingerprint with hashutil-style mixing so a hot rank stays one hot
+// key (popularity skew is preserved) while distinct ranks spread uniformly
+// over the key space (shard routing by high bits stays meaningful).
+type ZipfStream struct {
+	z   *rand.Zipf
+	seq uint64
+}
+
+// NewZipfStream builds a stream over keyRange ranks with Zipf exponent
+// s > 1 (larger = more skew; 1.2 concentrates ~1/3 of draws on the hottest
+// few keys).
+func NewZipfStream(seed int64, s float64, keyRange uint64) *ZipfStream {
+	if keyRange == 0 {
+		keyRange = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfStream{z: rand.NewZipf(rng, s, 1, keyRange-1)}
+}
+
+// Next returns the next key: a mixed fingerprint of the drawn rank.
+func (s *ZipfStream) Next() uint64 {
+	r := s.z.Uint64() + 1
+	// SplitMix64 finalizer (hashutil.Mix64; duplicated to keep workload
+	// dependency-free): a bijection, so rank popularity carries over.
+	x := r
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NextValue returns a unique value (sequence number).
+func (s *ZipfStream) NextValue() uint64 {
+	s.seq++
+	return s.seq
+}
+
 // RangeForLSR returns the key range that yields the target LSR for a store
 // whose steady-state population is storeEntries.
 func RangeForLSR(storeEntries uint64, lsr float64) uint64 {

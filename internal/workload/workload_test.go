@@ -133,3 +133,34 @@ func TestTraceObjectSizesVary(t *testing.T) {
 		t.Fatalf("object sizes too uniform: [%d, %d]", min, max)
 	}
 }
+
+func TestZipfStreamSkewAndDeterminism(t *testing.T) {
+	a := NewZipfStream(9, 1.2, 1<<20)
+	b := NewZipfStream(9, 1.2, 1<<20)
+	counts := make(map[uint64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatal("ZipfStream not deterministic per seed")
+		}
+		counts[ka]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest key of a Zipf(1.2) stream must dominate: far above the
+	// uniform expectation, far below everything.
+	if max < n/100 {
+		t.Fatalf("hottest key drew %d/%d: not skewed", max, n)
+	}
+	if max == n {
+		t.Fatal("stream collapsed to one key")
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct keys", len(counts))
+	}
+}
