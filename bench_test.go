@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -172,9 +173,9 @@ func BenchmarkEvictionPolicies(b *testing.B) {
 func BenchmarkDedupMerge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		clock := vclock.New()
-		c, err := clam.Open(clam.Options{
-			Device: clam.IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Clock: clock,
-		})
+		c, err := clam.Open(
+			clam.WithDevice(clam.IntelSSD),
+			clam.WithFlash(32<<20), clam.WithMemory(8<<20), clam.WithClock(clock))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,16 +197,15 @@ func BenchmarkDedupMerge(b *testing.B) {
 // --- raw data-structure throughput (real CPU time) ---
 
 func BenchmarkCLAMInsert(b *testing.B) {
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 64 << 20, MemoryBytes: 12 << 20,
-	})
+	c, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD), clam.WithFlash(64<<20), clam.WithMemory(12<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Insert(rng.Uint64()|1, uint64(i)); err != nil {
+		if err := c.PutU64(rng.Uint64()|1, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -226,14 +226,11 @@ func BenchmarkCLAMInsert(b *testing.B) {
 
 const benchGoroutines = 8
 
-func openShardedBench(b *testing.B, shards int) *clam.Sharded {
+func openShardedBench(b *testing.B, shards int) clam.Store {
 	b.Helper()
-	s, err := clam.OpenSharded(clam.ShardedOptions{
-		Options: clam.Options{
-			Device: clam.IntelSSD, FlashBytes: 256 << 20, MemoryBytes: 64 << 20,
-		},
-		Shards: shards,
-	})
+	s, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD), clam.WithFlash(256<<20), clam.WithMemory(64<<20),
+		clam.WithShards(shards))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -254,14 +251,14 @@ func benchKeys(goroutines, per int, seed int64) [][]uint64 {
 	return keys
 }
 
-func runParallelInserts(b *testing.B, s *clam.Sharded, keys [][]uint64) {
+func runParallelInserts(b *testing.B, s clam.Store, keys [][]uint64) {
 	var wg sync.WaitGroup
 	for g := range keys {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			for i, k := range keys[g] {
-				if err := s.Insert(k, uint64(i)); err != nil {
+				if err := s.PutU64(k, uint64(i)); err != nil {
 					b.Error(err)
 					return
 				}
@@ -309,7 +306,7 @@ func benchParallelLookup(b *testing.B, shards int) {
 		go func(g int) {
 			defer wg.Done()
 			for _, k := range keys[g] {
-				if _, _, err := s.Lookup(k); err != nil {
+				if _, _, err := s.GetU64(k); err != nil {
 					b.Error(err)
 					return
 				}
@@ -334,7 +331,7 @@ func BenchmarkShardedInsertBatch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.InsertBatch(keys, vals); err != nil {
+		if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -378,15 +375,14 @@ func BenchmarkShardedSpeedup(b *testing.B) {
 }
 
 func BenchmarkCLAMLookup(b *testing.B) {
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 64 << 20, MemoryBytes: 12 << 20,
-	})
+	c, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD), clam.WithFlash(64<<20), clam.WithMemory(12<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
 	const n = 1 << 20
 	for i := uint64(1); i <= n; i++ {
-		if err := c.Insert(i, i); err != nil {
+		if err := c.PutU64(i, i); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -394,7 +390,7 @@ func BenchmarkCLAMLookup(b *testing.B) {
 	c.ResetMetrics()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Lookup(uint64(rng.Int63n(n*2)) + 1); err != nil {
+		if _, _, err := c.GetU64(uint64(rng.Int63n(n*2)) + 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -406,7 +402,7 @@ func BenchmarkCLAMLookup(b *testing.B) {
 
 // --- batched lookup pipeline (wall-clock) ---
 //
-// These benchmarks compare Sharded.LookupBatch — the PR 2 batched pipeline:
+// These benchmarks compare Sharded.GetBatchU64 — the PR 2 batched pipeline:
 // phase-A memory resolution, page-deduped address-sorted flash probes
 // overlapped through storage.BatchReader, chunked shard-affine dispatch —
 // against the plain per-key Lookup loop, across shard counts and key
@@ -418,14 +414,11 @@ func BenchmarkCLAMLookup(b *testing.B) {
 // openBatchedLookupBench warms a sharded instance past eviction onset
 // (700k distinct keys into 512k entries of capacity) so lookups are
 // flash-heavy, and returns the warm universe.
-func openBatchedLookupBench(b *testing.B, shards int) (*clam.Sharded, []uint64) {
+func openBatchedLookupBench(b *testing.B, shards int) (clam.Store, []uint64) {
 	b.Helper()
-	s, err := clam.OpenSharded(clam.ShardedOptions{
-		Options: clam.Options{
-			Device: clam.IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Seed: 7,
-		},
-		Shards: shards,
-	})
+	s, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD), clam.WithFlash(16<<20), clam.WithMemory(4<<20),
+		clam.WithSeed(7), clam.WithShards(shards))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -443,7 +436,7 @@ func openBatchedLookupBench(b *testing.B, shards int) (*clam.Sharded, []uint64) 
 		if end > nKeys {
 			end = nKeys
 		}
-		if err := s.InsertBatch(universe[at:end], vals[at:end]); err != nil {
+		if err := s.PutBatchU64(context.Background(), universe[at:end], vals[at:end]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -483,13 +476,13 @@ func benchBatchedVsSerialLookup(b *testing.B, shards int, zipf bool) {
 	for i := 0; i < b.N; i++ {
 		serial := measure(func() {
 			for _, k := range probes {
-				if _, _, err := s.Lookup(k); err != nil {
+				if _, _, err := s.GetU64(k); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		batched := measure(func() {
-			if _, _, err := s.LookupBatch(probes); err != nil {
+			if _, _, err := s.GetBatchU64(context.Background(), probes); err != nil {
 				b.Fatal(err)
 			}
 		})

@@ -1,6 +1,7 @@
 package clam
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -18,16 +19,8 @@ import (
 // with 700k distinct keys so the incarnation rings wrap.
 func openBatchBench(b *testing.B) (*Sharded, []uint64) {
 	b.Helper()
-	s, err := OpenSharded(ShardedOptions{
-		Options: Options{
-			Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Seed: 7,
-		},
-		Shards:  8,
-		Workers: 8,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
+	s := openShardedT(b, WithDevice(IntelSSD), WithFlash(16<<20), WithMemory(4<<20),
+		WithSeed(7), WithShards(8), WithWorkers(8))
 	rng := rand.New(rand.NewSource(60))
 	const nKeys = 700000
 	universe := make([]uint64, nKeys)
@@ -39,7 +32,7 @@ func openBatchBench(b *testing.B) (*Sharded, []uint64) {
 	const chunk = 16384
 	for at := 0; at < nKeys; at += chunk {
 		end := min(at+chunk, nKeys)
-		if err := s.InsertBatch(universe[at:end], vals[at:end]); err != nil {
+		if err := s.PutBatchU64(context.Background(), universe[at:end], vals[at:end]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,12 +69,12 @@ func benchPipelineVsPerKeyDispatch(b *testing.B, s *Sharded, probes []uint64) {
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		perKey := measureLookups(b, func() {
-			if _, _, err := s.lookupBatchPerKey(probes); err != nil {
+			if _, _, err := s.getBatchU64PerKey(probes); err != nil {
 				b.Fatal(err)
 			}
 		})
 		pipeline := measureLookups(b, func() {
-			if _, _, err := s.LookupBatch(probes); err != nil {
+			if _, _, err := s.GetBatchU64(context.Background(), probes); err != nil {
 				b.Fatal(err)
 			}
 		})
@@ -110,13 +103,13 @@ func BenchmarkLookupBatchVsSerialLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		loop := measureLookups(b, func() {
 			for _, k := range probes {
-				if _, _, err := s.Lookup(k); err != nil {
+				if _, _, err := s.GetU64(k); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		pipeline := measureLookups(b, func() {
-			if _, _, err := s.LookupBatch(probes); err != nil {
+			if _, _, err := s.GetBatchU64(context.Background(), probes); err != nil {
 				b.Fatal(err)
 			}
 		})

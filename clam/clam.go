@@ -3,63 +3,59 @@
 // flash, built on the BufferHash data structure (internal/core), offering
 // fast inserts, lookups, lazy updates/deletes, and flexible eviction.
 //
-// A CLAM is opened over a simulated storage device (Intel-class SSD,
+// Everything is reached through one interface, Store, with one
+// constructor, Open, configured by functional options:
+//
+//	st, err := clam.Open(
+//	    clam.WithDevice(clam.IntelSSD),
+//	    clam.WithFlash(16<<20),  // scaled-down stand-in for the paper's 32 GB
+//	    clam.WithMemory(4<<20),  // DRAM budget, split per §6.4
+//	)
+//	if err != nil {
+//	    // handle err
+//	}
+//	fp := sha1.Sum(chunk) // real content fingerprints are byte slices
+//	if err := st.Put(fp[:], chunk); err != nil {
+//	    // handle err
+//	}
+//	if data, ok, err := st.Get(fp[:]); err == nil && ok {
+//	    // use data
+//	}
+//
+// Byte keys of any length map to variable-length byte values: keys are
+// fingerprinted onto the paper's 64-bit key path and records live in a
+// page-aligned circular value log on slow storage, with every read
+// verified against the full key bytes (see Store). Workloads that already
+// have 64-bit fingerprints and word-sized values — the paper's evaluation
+// — use the inline fast path (PutU64/GetU64), which bypasses the value log
+// entirely and behaves exactly as before the byte API existed.
+//
+// Adding WithShards(8) to the same option list opens a Sharded store: the
+// key space is partitioned by top fingerprint bits across independent
+// shards, each a complete CLAM with its own BufferHash, device models,
+// virtual clock and histograms. Batch operations route through a shared
+// chunk queue over a bounded worker pool with single-shard ownership,
+// cache affinity and shard stealing; GetBatch/GetBatchU64 additionally run
+// each chunk through the core batched lookup pipeline, overlapping index
+// page probes — and then value-log record reads, a second I/O stream —
+// across the device's internal queue lanes.
+//
+// A CLAM is opened over simulated storage devices (Intel-class SSD,
 // Transcend-class SSD, raw NAND chip, or magnetic disk — see DESIGN.md §3
 // for why simulation preserves the paper's behaviour) and operates in
 // virtual time: every operation advances a virtual clock by its modeled
 // latency, and per-operation latency distributions are recorded in
-// histograms that the experiment harness turns into the paper's tables and
-// figures.
+// histograms that the experiment harness turns into the paper's tables
+// and figures.
 //
-// Quick start (mirrored by the package Example, which go test keeps
-// honest):
-//
-//	c, err := clam.Open(clam.Options{
-//	    Device:      clam.IntelSSD,
-//	    FlashBytes:  16 << 20, // scaled-down stand-in for the paper's 32 GB
-//	    MemoryBytes: 4 << 20,  // DRAM budget, split per §6.4
-//	})
-//	if err != nil {
-//	    // handle err
-//	}
-//	if err := c.Insert(fingerprint, diskAddress); err != nil {
-//	    // handle err
-//	}
-//	if addr, ok, err := c.Lookup(fingerprint); err == nil && ok {
-//	    // use addr
-//	}
-//
-// # Concurrency and sharding
-//
-// A CLAM's methods are safe for concurrent use, but operations are
-// serialized behind one mutex, matching the paper's blocking-I/O design
-// point — throughput cannot scale past one core.
-//
-// Sharded is the scaling path: OpenSharded partitions the 64-bit key
-// space across N independent shards by the top log2(N) key bits, each
-// shard a complete CLAM with its own BufferHash, device model, virtual
-// clock and latency histograms. Operations on different shards run fully
-// in parallel; per-shard they keep the paper's serialized semantics. The
-// batch APIs (InsertBatch, LookupBatch, DeleteBatch) group operations by
-// shard with a counting sort and dispatch chunk-sized tasks from a shared
-// queue across a bounded worker pool: a shard is owned by one worker at a
-// time (preserving per-shard order and cache affinity), and idle workers
-// steal the next pending shard, so skewed batches keep the pool busy.
-// Stats merges per-shard counters and histograms into one aggregate view.
-//
-// LookupBatch additionally runs each chunk through the core batched
-// pipeline: buffer and Bloom work for the whole chunk happens with zero
-// I/O, then the required incarnation page reads are deduped, sorted by
-// device address and overlapped across the device's internal queue lanes
-// (storage.BatchReader), charging the batch the maximum lane time instead
-// of the serial sum. Results and probe counters are identical to a
-// per-key Lookup loop; virtual time and physical read counts are lower.
-//
-// Keys are assumed to be uniformly distributed fingerprints (the paper's
-// workloads); hash non-uniform keys first, e.g. with hashutil.Mix64.
+// All Store methods are safe for concurrent use. A single CLAM serializes
+// operations behind one mutex, matching the paper's blocking-I/O design
+// point; a Sharded store serializes per shard and runs shards in parallel.
 package clam
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -67,10 +63,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
-	"repro/internal/disk"
-	"repro/internal/flashchip"
 	"repro/internal/metrics"
-	"repro/internal/ssd"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -118,129 +111,103 @@ const (
 	PriorityBased = core.PriorityBased
 )
 
-// Options configures a CLAM. FlashBytes and MemoryBytes are the only
-// required fields; everything else has paper-faithful defaults derived by
-// the §6.4 tuning rules.
-type Options struct {
-	// Device selects the storage model; default IntelSSD.
-	Device DeviceKind
-	// CustomDevice overrides Device with a caller-supplied model. The
-	// caller must construct it against Clock (or leave Clock nil and use
-	// the device's clock).
-	CustomDevice storage.Device
-
-	// FlashBytes is F, the slow-storage capacity dedicated to the hash
-	// table. Required.
-	FlashBytes int64
-	// MemoryBytes is M, the DRAM budget. Per §6.4 it is split into
-	// B_opt ≈ 2F/s bits of buffers with the remainder for Bloom filters.
-	// Required unless BufferKB/FilterBitsPerEntry are both set.
-	MemoryBytes int64
-
-	// BufferKB overrides B′, the per-super-table buffer size (default:
-	// 128 KB, or the device erase block on raw flash).
-	BufferKB int
-	// FilterBitsPerEntry overrides the Bloom budget (default: derived
-	// from MemoryBytes).
-	FilterBitsPerEntry int
-	// MaxIncarnations caps k per super table (default 16, the paper's
-	// configuration; hard limit 64).
-	MaxIncarnations int
-
-	// Policy selects eviction behaviour; Retain configures PriorityBased.
-	Policy Policy
-	Retain func(key, value uint64) bool
-
-	// Seed makes all hashing deterministic (default 1).
-	Seed uint64
-
-	// Clock supplies the virtual clock; one is created if nil.
-	Clock *vclock.Clock
-
-	// DisableBloom / DisableBitslice are the §7.3.1 ablation switches.
-	DisableBloom    bool
-	DisableBitslice bool
-}
-
-// CLAM is a cheap and large CAM. Safe for concurrent use.
+// CLAM is a cheap and large CAM — one instance of the paper's design,
+// implementing Store. Safe for concurrent use; operations serialize behind
+// one mutex (the paper's blocking-I/O design point).
 type CLAM struct {
 	mu     sync.Mutex
 	bh     *core.BufferHash
 	dev    storage.Device
+	vlog   *storage.ValueLog // nil iff no value-log device was configured
 	clock  *vclock.Clock
+	fpSeed uint64
+	chunk  int // batch chunk size: ctx-check interval and core-call bound
 	insert metrics.Histogram
 	lookup metrics.Histogram
 	del    metrics.Histogram
+
+	batchRes []core.LookupResult    // GetBatch scratch, guarded by mu
+	batchReq []storage.ValueReadReq // GetBatch value-log scratch, guarded by mu
+	batchIdx []int                  // GetBatch scatter scratch, guarded by mu
 }
 
 // effectiveEntryBytes is s in the §6 analysis: 16-byte entries at 50%
 // cuckoo utilization occupy 32 bytes of buffer/flash per stored entry.
 const effectiveEntryBytes = 32.0
 
-// Open builds a CLAM from Options, applying the §6.4 tuning rules.
-func Open(opts Options) (*CLAM, error) {
-	if opts.FlashBytes <= 0 {
-		return nil, fmt.Errorf("clam: FlashBytes is required")
-	}
-	clock := opts.Clock
+// openCLAM builds a single CLAM from a resolved config.
+func openCLAM(cfg config) (*CLAM, error) {
+	clock := cfg.clock
 	if clock == nil {
 		clock = vclock.New()
 	}
-	dev := opts.CustomDevice
+	dev := cfg.customDevice
+	vdev := cfg.customVLogDev
 	if dev == nil {
-		switch opts.Device {
-		case IntelSSD:
-			dev = ssd.New(ssd.IntelX18M(), opts.FlashBytes, clock)
-		case TranscendSSD:
-			dev = ssd.New(ssd.TranscendTS32(), opts.FlashBytes, clock)
-		case FlashChip:
-			dev = flashchip.New(flashchip.DefaultConfig(opts.FlashBytes), clock)
-		case MagneticDisk:
-			dev = disk.New(disk.Hitachi7K80(), opts.FlashBytes, clock)
-		default:
-			return nil, fmt.Errorf("clam: unknown device kind %d", opts.Device)
+		var err error
+		if dev, err = newKindDevice(cfg.device, cfg.flashBytes, clock); err != nil {
+			return nil, err
+		}
+		vbytes := cfg.valueLogBytes
+		if vbytes == 0 {
+			vbytes = cfg.flashBytes
+		}
+		if vdev, err = newKindDevice(cfg.device, vbytes, clock); err != nil {
+			return nil, err
 		}
 	}
-	cfg, err := deriveConfig(opts, dev, clock)
+	coreCfg, err := deriveConfig(cfg, dev, clock)
 	if err != nil {
 		return nil, err
 	}
-	bh, err := core.New(cfg)
+	bh, err := core.New(coreCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &CLAM{bh: bh, dev: dev, clock: clock}, nil
+	c := &CLAM{
+		bh:     bh,
+		dev:    dev,
+		clock:  clock,
+		fpSeed: coreCfg.Seed,
+		chunk:  cfg.batchChunk,
+	}
+	if vdev != nil {
+		if c.vlog, err = storage.NewValueLog(vdev); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // deriveConfig applies §6.4: choose B′ (≈ flash block), the number of super
 // tables from B_opt, k = F/(nt·B′), and give all remaining memory to Bloom
 // filters.
-func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.Config, error) {
+func deriveConfig(cfg config, dev storage.Device, clock *vclock.Clock) (core.Config, error) {
 	g := dev.Geometry()
-	bufBytes := opts.BufferKB << 10
+	bufBytes := cfg.bufferKB << 10
 	if bufBytes == 0 {
 		bufBytes = 128 << 10
 		if _, erasable := dev.(storage.Eraser); erasable && g.BlockSize > 0 {
 			bufBytes = g.BlockSize
 		}
 	}
-	maxK := opts.MaxIncarnations
+	maxK := cfg.maxIncarnations
 	if maxK == 0 {
 		maxK = 16
 	}
 	if maxK > 64 {
-		return core.Config{}, fmt.Errorf("clam: MaxIncarnations %d > 64", maxK)
+		return core.Config{}, fmt.Errorf("clam: WithMaxIncarnations(%d) > 64", maxK)
 	}
 
 	// Total buffer allocation: B_opt, clamped to at most half the memory
 	// budget, and at least one buffer.
-	bOpt := costmodel.OptimalBufferBytes(opts.FlashBytes, effectiveEntryBytes)
-	if opts.MemoryBytes > 0 && bOpt > opts.MemoryBytes/2 {
-		bOpt = opts.MemoryBytes / 2
+	bOpt := costmodel.OptimalBufferBytes(cfg.flashBytes, effectiveEntryBytes)
+	if cfg.memoryBytes > 0 && bOpt > cfg.memoryBytes/2 {
+		bOpt = cfg.memoryBytes / 2
 	}
 	nt := bOpt / int64(bufBytes)
 	// k = F/(nt·B′) must stay ≤ maxK; widen the partitioning if needed.
-	for nt == 0 || opts.FlashBytes/(nt*int64(bufBytes)) > int64(maxK) {
+	for nt == 0 || cfg.flashBytes/(nt*int64(bufBytes)) > int64(maxK) {
 		if nt == 0 {
 			nt = 1
 			continue
@@ -249,7 +216,7 @@ func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.C
 	}
 	partitionBits := uint(bits.Len64(uint64(nt)) - 1) // floor(log2)
 	nt = 1 << partitionBits
-	k := int(opts.FlashBytes / (nt * int64(bufBytes)))
+	k := int(cfg.flashBytes / (nt * int64(bufBytes)))
 	if k < 1 {
 		k = 1
 	}
@@ -257,16 +224,16 @@ func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.C
 		k = maxK
 	}
 
-	fbe := opts.FilterBitsPerEntry
+	fbe := cfg.filterBitsPerEntry
 	if fbe == 0 {
-		if opts.MemoryBytes == 0 {
+		if cfg.memoryBytes == 0 {
 			fbe = 16 // the paper's candidate configuration
 		} else {
-			bloomBytes := opts.MemoryBytes - nt*int64(bufBytes)
+			bloomBytes := cfg.memoryBytes - nt*int64(bufBytes)
 			if bloomBytes <= 0 {
 				return core.Config{}, fmt.Errorf(
-					"clam: MemoryBytes %d leaves no room for Bloom filters after %d of buffers",
-					opts.MemoryBytes, nt*int64(bufBytes))
+					"clam: memory budget %d leaves no room for Bloom filters after %d of buffers",
+					cfg.memoryBytes, nt*int64(bufBytes))
 			}
 			entries := nt * int64(k) * int64(bufBytes/32) // n′ per incarnation × all
 			fbe = int(bloomBytes * 8 / entries)
@@ -278,7 +245,7 @@ func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.C
 			}
 		}
 	}
-	seed := opts.Seed
+	seed := cfg.seed
 	if seed == 0 {
 		seed = 1
 	}
@@ -290,16 +257,18 @@ func deriveConfig(opts Options, dev storage.Device, clock *vclock.Clock) (core.C
 		NumIncarnations:    k,
 		FilterBitsPerEntry: fbe,
 		FilterHashes:       0,
-		Policy:             opts.Policy,
-		Retain:             opts.Retain,
+		Policy:             cfg.policy,
+		Retain:             cfg.retain,
 		Seed:               seed,
-		DisableBloom:       opts.DisableBloom,
-		DisableBitslice:    opts.DisableBitslice,
+		DisableBloom:       cfg.disableBloom,
+		DisableBitslice:    cfg.disableBitslice,
 	}, nil
 }
 
-// Insert adds or updates a (key, value) mapping.
-func (c *CLAM) Insert(key, value uint64) error {
+// --- U64 fast path ---
+
+// PutU64 adds or updates a (key, value) mapping on the inline fast path.
+func (c *CLAM) PutU64(key, value uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.clock.StartWatch()
@@ -308,11 +277,13 @@ func (c *CLAM) Insert(key, value uint64) error {
 	return err
 }
 
-// Update is an alias of Insert with the paper's lazy-update semantics.
-func (c *CLAM) Update(key, value uint64) error { return c.Insert(key, value) }
+// UpdateU64 is an alias of PutU64 with the paper's lazy-update semantics
+// (§5.1.1): the new version shadows older ones because lookups probe
+// newest-first; there is no existence check and no read-modify-write.
+func (c *CLAM) UpdateU64(key, value uint64) error { return c.PutU64(key, value) }
 
-// Lookup returns the latest value stored under key.
-func (c *CLAM) Lookup(key uint64) (value uint64, found bool, err error) {
+// GetU64 returns the latest value stored under key.
+func (c *CLAM) GetU64(key uint64) (value uint64, found bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.clock.StartWatch()
@@ -321,21 +292,57 @@ func (c *CLAM) Lookup(key uint64) (value uint64, found bool, err error) {
 	return res.Value, res.Found, err
 }
 
-// LookupBatch looks up len(keys) keys through the core batched pipeline
+// DeleteU64 lazily removes key (§5.1.1).
+func (c *CLAM) DeleteU64(key uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	err := c.bh.Delete(key)
+	c.del.Observe(w.Elapsed())
+	return err
+}
+
+// PutBatchU64 applies len(keys) fast-path inserts, checking ctx between
+// chunks of WithBatchChunk keys.
+func (c *CLAM) PutBatchU64(ctx context.Context, keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("clam: PutBatchU64 length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < min(lo+c.chunk, len(keys)); i++ {
+			if err := c.PutU64(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GetBatchU64 looks up len(keys) keys through the core batched pipeline
 // (see internal/core: in-memory phase, coalesced overlapped flash phase,
 // serial-identical resolution) and returns per-key results in input order.
-// The structural counters match a loop of Lookup calls key-for-key; the
-// batch holds the lock once and its flash reads overlap in virtual time.
+// The structural counters match a loop of GetU64 calls key-for-key; each
+// chunk holds the lock once and its flash reads overlap in virtual time.
+// ctx is checked between chunks.
 //
-// Latency accounting: the batch's virtual elapsed time is spread evenly
-// over its keys, so the lookup histogram records amortized per-key latency
-// and its count stays equal to the number of lookups performed.
-func (c *CLAM) LookupBatch(keys []uint64) (values []uint64, found []bool, err error) {
+// Latency accounting: a chunk's virtual elapsed time is spread evenly over
+// its keys, so the lookup histogram records amortized per-key latency and
+// its count stays equal to the number of lookups performed.
+func (c *CLAM) GetBatchU64(ctx context.Context, keys []uint64) (values []uint64, found []bool, err error) {
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
 	results := make([]core.LookupResult, len(keys))
-	if err := c.lookupBatchInto(keys, results); err != nil {
-		return nil, nil, err
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		hi := min(lo+c.chunk, len(keys))
+		if err := c.getBatchU64Into(keys[lo:hi], results[lo:hi]); err != nil {
+			return nil, nil, err
+		}
 	}
 	for i, r := range results {
 		values[i], found[i] = r.Value, r.Found
@@ -343,10 +350,10 @@ func (c *CLAM) LookupBatch(keys []uint64) (values []uint64, found []bool, err er
 	return values, found, nil
 }
 
-// lookupBatchInto is LookupBatch without the output allocation: results
-// must have len(keys). The sharded batch router calls this with per-worker
-// scratch buffers.
-func (c *CLAM) lookupBatchInto(keys []uint64, results []core.LookupResult) error {
+// getBatchU64Into is one locked batched-lookup call without the output
+// allocation: results must have len(keys). The sharded batch router calls
+// this chunk-by-chunk with per-worker scratch buffers.
+func (c *CLAM) getBatchU64Into(keys []uint64, results []core.LookupResult) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -360,15 +367,216 @@ func (c *CLAM) lookupBatchInto(keys []uint64, results []core.LookupResult) error
 	return nil
 }
 
-// Delete lazily removes key (§5.1.1).
-func (c *CLAM) Delete(key uint64) error {
+// DeleteBatchU64 applies len(keys) fast-path deletes, checking ctx between
+// chunks.
+func (c *CLAM) DeleteBatchU64(ctx context.Context, keys []uint64) error {
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < min(lo+c.chunk, len(keys)); i++ {
+			if err := c.DeleteU64(keys[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- byte-keyed operations ---
+
+// Put adds or updates a key → value mapping: the record is appended to the
+// value log and the key's fingerprint maps to its pointer.
+func (c *CLAM) Put(key, value []byte) error {
+	return c.putRecord(fingerprint(key, c.fpSeed), key, value)
+}
+
+// Update is an alias of Put with the paper's lazy-update semantics
+// (§5.1.1); see Store.
+func (c *CLAM) Update(key, value []byte) error { return c.Put(key, value) }
+
+func (c *CLAM) putRecord(fp uint64, key, value []byte) error {
+	if c.vlog == nil {
+		return ErrNoValueLog
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.clock.StartWatch()
-	err := c.bh.Delete(key)
+	off, n, err := c.vlog.Append(key, value)
+	if err != nil {
+		return err
+	}
+	ptr, ok := core.EncodeValuePtr(off, n)
+	if !ok {
+		return fmt.Errorf("clam: value-log pointer (%d, %d) not encodable", off, n)
+	}
+	err = c.bh.Insert(fp, ptr)
+	c.insert.Observe(w.Elapsed())
+	return err
+}
+
+// Get returns the latest value stored under key, verified against the full
+// key bytes in the value-log record.
+func (c *CLAM) Get(key []byte) (value []byte, found bool, err error) {
+	return c.getRecord(fingerprint(key, c.fpSeed), key)
+}
+
+func (c *CLAM) getRecord(fp uint64, key []byte) (value []byte, found bool, err error) {
+	if c.vlog == nil {
+		return nil, false, ErrNoValueLog
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	defer func() { c.lookup.Observe(w.Elapsed()) }()
+	res, err := c.bh.Lookup(fp)
+	if err != nil || !res.Found {
+		return nil, false, err
+	}
+	off, n, ok := res.ValuePointer()
+	if !ok {
+		return nil, false, nil // inline (U64-keyed) entry under this fingerprint
+	}
+	rec, ok, err := c.vlog.ReadRecord(off, n)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil // stale pointer: record region wrapped over
+	}
+	v, ok := storage.VerifyRecord(rec, key)
+	if !ok {
+		return nil, false, nil // fingerprint collision or overwritten record
+	}
+	return bytes.Clone(v), true, nil
+}
+
+// Delete lazily removes key (§5.1.1). The value-log record is reclaimed by
+// the log's circular overwrite.
+func (c *CLAM) Delete(key []byte) error {
+	return c.deleteFP(fingerprint(key, c.fpSeed))
+}
+
+func (c *CLAM) deleteFP(fp uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	err := c.bh.Delete(fp)
 	c.del.Observe(w.Elapsed())
 	return err
 }
+
+// PutBatch applies len(keys) Put operations, checking ctx between chunks.
+func (c *CLAM) PutBatch(ctx context.Context, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("clam: PutBatch length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < min(lo+c.chunk, len(keys)); i++ {
+			if err := c.Put(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GetBatch looks up len(keys) keys, chunk by chunk: each chunk runs the
+// core batched index pipeline (overlapped page probes) and then fetches
+// the surviving value-log records as one overlapped batched read — the
+// second I/O stream. ctx is checked between chunks.
+func (c *CLAM) GetBatch(ctx context.Context, keys [][]byte) (values [][]byte, found []bool, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	if c.vlog == nil {
+		return nil, nil, ErrNoValueLog
+	}
+	fps := make([]uint64, len(keys))
+	for i, k := range keys {
+		fps[i] = fingerprint(k, c.fpSeed)
+	}
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		hi := min(lo+c.chunk, len(keys))
+		if err := c.getBatchRecords(fps[lo:hi], keys[lo:hi], values[lo:hi], found[lo:hi]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return values, found, nil
+}
+
+// getBatchRecords resolves one chunk under the lock: batched index lookup,
+// then one batched value-log read for every key that resolved to a record
+// pointer, then per-key verification. The sharded router calls this with
+// gathered per-shard chunks.
+func (c *CLAM) getBatchRecords(fps []uint64, keys [][]byte, values [][]byte, found []bool) error {
+	if len(fps) == 0 {
+		return nil
+	}
+	if c.vlog == nil {
+		return ErrNoValueLog
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.clock.StartWatch()
+	if cap(c.batchRes) < len(fps) {
+		c.batchRes = make([]core.LookupResult, len(fps))
+	}
+	results := c.batchRes[:len(fps)]
+	if err := c.bh.LookupBatch(fps, results); err != nil {
+		return err
+	}
+	reqs := c.batchReq[:0]
+	idxs := c.batchIdx[:0]
+	for i := range results {
+		if off, n, ok := results[i].ValuePointer(); ok {
+			reqs = append(reqs, storage.ValueReadReq{Off: off, N: n})
+			idxs = append(idxs, i)
+		}
+	}
+	c.batchReq, c.batchIdx = reqs, idxs
+	if err := c.vlog.ReadRecordsBatch(reqs); err != nil {
+		return err
+	}
+	for j, req := range reqs {
+		i := idxs[j]
+		if req.Rec == nil {
+			continue
+		}
+		if v, ok := storage.VerifyRecord(req.Rec, keys[i]); ok {
+			values[i] = bytes.Clone(v)
+			found[i] = true
+		}
+	}
+	c.lookup.ObserveN(w.Elapsed()/time.Duration(len(fps)), len(fps))
+	return nil
+}
+
+// DeleteBatch applies len(keys) Delete operations, checking ctx between
+// chunks.
+func (c *CLAM) DeleteBatch(ctx context.Context, keys [][]byte) error {
+	for lo := 0; lo < len(keys); lo += c.chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := lo; i < min(lo+c.chunk, len(keys)); i++ {
+			if err := c.Delete(keys[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- maintenance and introspection ---
 
 // Flush forces all buffered entries to flash.
 func (c *CLAM) Flush() error {
@@ -381,17 +589,31 @@ func (c *CLAM) Flush() error {
 // arrivals in virtual time).
 func (c *CLAM) Clock() *vclock.Clock { return c.clock }
 
-// Device returns the underlying storage device.
+// Device returns the underlying index storage device.
 func (c *CLAM) Device() storage.Device { return c.dev }
+
+// ValueDevice returns the value-log device, or nil when the store has no
+// value log.
+func (c *CLAM) ValueDevice() storage.Device {
+	if c.vlog == nil {
+		return nil
+	}
+	return c.vlog.Device()
+}
 
 // Core exposes the underlying BufferHash for the experiment harness.
 // Callers must not use it concurrently with CLAM methods.
 func (c *CLAM) Core() *core.BufferHash { return c.bh }
 
-// Stats is a point-in-time summary of a CLAM's behaviour.
+// Stats is a point-in-time summary of a Store's behaviour.
 type Stats struct {
 	Core   core.Stats
 	Device storage.Counters
+	// ValueDevice counts the value log's own I/O (zero when the store has
+	// no value log or the byte API was never used).
+	ValueDevice storage.Counters
+	// ValueLog counts record appends and log wraps.
+	ValueLog storage.ValueLogStats
 
 	InsertLatency metrics.Summary
 	LookupLatency metrics.Summary
@@ -404,7 +626,7 @@ type Stats struct {
 func (c *CLAM) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Core:          c.bh.Stats(),
 		Device:        c.dev.Counters(),
 		InsertLatency: c.insert.Summarize(),
@@ -412,6 +634,11 @@ func (c *CLAM) Stats() Stats {
 		DeleteLatency: c.del.Summarize(),
 		Memory:        c.bh.MemoryFootprint(),
 	}
+	if c.vlog != nil {
+		st.ValueDevice = c.vlog.Device().Counters()
+		st.ValueLog = c.vlog.Stats()
+	}
+	return st
 }
 
 // InsertHistogram returns the insert latency histogram (callers must not

@@ -1,6 +1,7 @@
 package clam
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
@@ -8,38 +9,53 @@ import (
 	"repro/internal/metrics"
 )
 
-func openSmall(t testing.TB, kind DeviceKind) *CLAM {
+// openCLAMT opens a single CLAM through the public constructor.
+func openCLAMT(t testing.TB, opts ...Option) *CLAM {
 	t.Helper()
-	c, err := Open(Options{
-		Device:      kind,
-		FlashBytes:  16 << 20,
-		MemoryBytes: 4 << 20,
-		Seed:        7,
-	})
+	st, err := Open(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c
+	return st.(*CLAM)
+}
+
+// openShardedT opens a Sharded store through the public constructor.
+func openShardedT(t testing.TB, opts ...Option) *Sharded {
+	t.Helper()
+	st, err := Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*Sharded)
+}
+
+func openSmall(t testing.TB, kind DeviceKind) *CLAM {
+	t.Helper()
+	return openCLAMT(t, WithDevice(kind), WithFlash(16<<20), WithMemory(4<<20), WithSeed(7))
 }
 
 func TestOpenRequiresFlash(t *testing.T) {
-	if _, err := Open(Options{}); err == nil {
-		t.Fatal("Open accepted zero FlashBytes")
+	if _, err := Open(); err == nil {
+		t.Fatal("Open accepted a zero flash capacity")
 	}
 }
 
 func TestOpenAllDeviceKinds(t *testing.T) {
 	for _, kind := range []DeviceKind{IntelSSD, TranscendSSD, FlashChip, MagneticDisk} {
-		c, err := Open(Options{Device: kind, FlashBytes: 16 << 20, MemoryBytes: 4 << 20})
-		if err != nil {
-			t.Fatalf("%v: %v", kind, err)
-		}
-		if err := c.Insert(1, 2); err != nil {
+		c := openCLAMT(t, WithDevice(kind), WithFlash(16<<20), WithMemory(4<<20))
+		if err := c.PutU64(1, 2); err != nil {
 			t.Fatalf("%v insert: %v", kind, err)
 		}
-		v, ok, err := c.Lookup(1)
+		v, ok, err := c.GetU64(1)
 		if err != nil || !ok || v != 2 {
 			t.Fatalf("%v lookup: %d %v %v", kind, v, ok, err)
+		}
+		// The byte API works on every device kind too.
+		if err := c.Put([]byte("name"), []byte("value")); err != nil {
+			t.Fatalf("%v put: %v", kind, err)
+		}
+		if bv, ok, err := c.Get([]byte("name")); err != nil || !ok || !bytes.Equal(bv, []byte("value")) {
+			t.Fatalf("%v get: %q %v %v", kind, bv, ok, err)
 		}
 	}
 }
@@ -59,10 +75,7 @@ func TestDeviceKindString(t *testing.T) {
 func TestTuningMatchesPaperShape(t *testing.T) {
 	// With the paper's ratios (M = F/8), §6.4 tuning should yield 128 KB
 	// buffers, k = 16 incarnations, and ~16 bloom bits per entry.
-	c, err := Open(Options{Device: IntelSSD, FlashBytes: 128 << 20, MemoryBytes: 16 << 20})
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := openCLAMT(t, WithDevice(IntelSSD), WithFlash(128<<20), WithMemory(16<<20))
 	cfg := c.Core().Config()
 	if cfg.BufferBytes != 128<<10 {
 		t.Errorf("BufferBytes = %d, want 128KB", cfg.BufferBytes)
@@ -81,10 +94,7 @@ func TestTuningMatchesPaperShape(t *testing.T) {
 }
 
 func TestChipDefaultsToBlockBuffer(t *testing.T) {
-	c, err := Open(Options{Device: FlashChip, FlashBytes: 16 << 20, MemoryBytes: 4 << 20})
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := openCLAMT(t, WithDevice(FlashChip), WithFlash(16<<20), WithMemory(4<<20))
 	if got := c.Core().Config().BufferBytes; got != 128<<10 {
 		t.Fatalf("chip buffer = %d, want erase block 128KB", got)
 	}
@@ -94,14 +104,14 @@ func TestLatencyHistogramsPopulated(t *testing.T) {
 	c := openSmall(t, IntelSSD)
 	// Exceed the total buffer capacity so flushes reach the device.
 	for i := uint64(0); i < 50000; i++ {
-		if err := c.Insert(i, i); err != nil {
+		if err := c.PutU64(i, i); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 5000; i++ {
-		c.Lookup(i * 3)
+		c.GetU64(i * 3)
 	}
-	c.Delete(1)
+	c.DeleteU64(1)
 	st := c.Stats()
 	if st.InsertLatency.Count != 50000 || st.LookupLatency.Count != 5000 || st.DeleteLatency.Count != 1 {
 		t.Fatalf("histogram counts: %+v %+v %+v", st.InsertLatency, st.LookupLatency, st.DeleteLatency)
@@ -124,24 +134,24 @@ func TestLatencyHistogramsPopulated(t *testing.T) {
 
 func TestUpdateAndDelete(t *testing.T) {
 	c := openSmall(t, IntelSSD)
-	c.Insert(10, 1)
-	c.Update(10, 2)
-	if v, ok, _ := c.Lookup(10); !ok || v != 2 {
+	c.PutU64(10, 1)
+	c.UpdateU64(10, 2)
+	if v, ok, _ := c.GetU64(10); !ok || v != 2 {
 		t.Fatalf("update: %d %v", v, ok)
 	}
-	c.Delete(10)
-	if _, ok, _ := c.Lookup(10); ok {
+	c.DeleteU64(10)
+	if _, ok, _ := c.GetU64(10); ok {
 		t.Fatal("deleted key found")
 	}
 }
 
 func TestFlushQuiesces(t *testing.T) {
 	c := openSmall(t, IntelSSD)
-	c.Insert(5, 50)
+	c.PutU64(5, 50)
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := c.Lookup(5); !ok || v != 50 {
+	if v, ok, _ := c.GetU64(5); !ok || v != 50 {
 		t.Fatalf("post-flush lookup: %d %v", v, ok)
 	}
 }
@@ -156,11 +166,11 @@ func TestConcurrentUse(t *testing.T) {
 			defer wg.Done()
 			base := uint64(g) << 32
 			for i := uint64(0); i < 2000; i++ {
-				if err := c.Insert(base+i, i); err != nil {
+				if err := c.PutU64(base+i, i); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := c.Lookup(base + i); err != nil {
+				if _, _, err := c.GetU64(base + i); err != nil {
 					errs <- err
 					return
 				}
@@ -175,7 +185,7 @@ func TestConcurrentUse(t *testing.T) {
 	// All goroutines' keys visible.
 	for g := 0; g < 8; g++ {
 		base := uint64(g) << 32
-		if _, ok, _ := c.Lookup(base + 1999); !ok {
+		if _, ok, _ := c.GetU64(base + 1999); !ok {
 			t.Fatalf("goroutine %d keys lost", g)
 		}
 	}
@@ -183,7 +193,7 @@ func TestConcurrentUse(t *testing.T) {
 
 func TestResetMetrics(t *testing.T) {
 	c := openSmall(t, IntelSSD)
-	c.Insert(1, 1)
+	c.PutU64(1, 1)
 	c.ResetMetrics()
 	st := c.Stats()
 	if st.InsertLatency.Count != 0 || st.Core.Inserts != 0 {
@@ -201,36 +211,23 @@ func TestElapseAdvancesClock(t *testing.T) {
 }
 
 func TestPriorityPolicyThroughFacade(t *testing.T) {
-	c, err := Open(Options{
-		Device:      IntelSSD,
-		FlashBytes:  8 << 20,
-		MemoryBytes: 2 << 20,
-		Policy:      PriorityBased,
-		Retain:      func(k, v uint64) bool { return v > 100 },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Insert(1, 200); err != nil {
+	c := openCLAMT(t,
+		WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20),
+		WithPolicy(PriorityBased), WithRetain(func(k, v uint64) bool { return v > 100 }))
+	if err := c.PutU64(1, 200); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAblationSwitches(t *testing.T) {
-	for _, o := range []Options{
-		{Device: IntelSSD, FlashBytes: 8 << 20, MemoryBytes: 2 << 20, DisableBloom: true},
-		{Device: IntelSSD, FlashBytes: 8 << 20, MemoryBytes: 2 << 20, DisableBitslice: true},
-	} {
-		c, err := Open(o)
-		if err != nil {
-			t.Fatal(err)
-		}
+	for _, extra := range []Option{WithoutBloom(), WithoutBitslice()} {
+		c := openCLAMT(t, WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20), extra)
 		for i := uint64(0); i < 30000; i++ {
-			if err := c.Insert(i, i); err != nil {
+			if err := c.PutU64(i, i); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if v, ok, _ := c.Lookup(29999); !ok || v != 29999 {
+		if v, ok, _ := c.GetU64(29999); !ok || v != 29999 {
 			t.Fatal("ablated CLAM lost data")
 		}
 	}
@@ -238,7 +235,7 @@ func TestAblationSwitches(t *testing.T) {
 
 func TestMemoryBudgetTooSmall(t *testing.T) {
 	// A memory budget smaller than one buffer cannot work.
-	_, err := Open(Options{Device: IntelSSD, FlashBytes: 1 << 30, MemoryBytes: 64 << 10})
+	_, err := Open(WithDevice(IntelSSD), WithFlash(1<<30), WithMemory(64<<10))
 	if err == nil {
 		t.Fatal("accepted impossible memory budget")
 	}

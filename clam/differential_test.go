@@ -1,6 +1,7 @@
 package clam
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -22,11 +23,11 @@ import (
 // tolerance collapses to exact equality: CLAM, Sharded and the oracle must
 // agree on every lookup.
 
-// store is the operation surface shared by CLAM and Sharded.
+// store is the U64 operation surface shared by CLAM and Sharded.
 type store interface {
-	Insert(key, value uint64) error
-	Delete(key uint64) error
-	Lookup(key uint64) (uint64, bool, error)
+	PutU64(key, value uint64) error
+	DeleteU64(key uint64) error
+	GetU64(key uint64) (uint64, bool, error)
 	Flush() error
 	Stats() Stats
 }
@@ -81,12 +82,12 @@ func applyDifferential(t *testing.T, name string, s store, ops []op, strict bool
 	for i, o := range ops {
 		switch o.kind {
 		case opInsert:
-			if err := s.Insert(o.key, o.val); err != nil {
+			if err := s.PutU64(o.key, o.val); err != nil {
 				t.Fatalf("%s: op %d insert: %v", name, i, err)
 			}
 			oracle[o.key] = o.val
 		case opDelete:
-			if err := s.Delete(o.key); err != nil {
+			if err := s.DeleteU64(o.key); err != nil {
 				t.Fatalf("%s: op %d delete: %v", name, i, err)
 			}
 			delete(oracle, o.key)
@@ -95,7 +96,7 @@ func applyDifferential(t *testing.T, name string, s store, ops []op, strict bool
 				t.Fatalf("%s: op %d flush: %v", name, i, err)
 			}
 		case opLookup:
-			v, found, err := s.Lookup(o.key)
+			v, found, err := s.GetU64(o.key)
 			if err != nil {
 				t.Fatalf("%s: op %d lookup: %v", name, i, err)
 			}
@@ -120,7 +121,7 @@ func verifyFinal(t *testing.T, name string, s store, oracle map[uint64]uint64, s
 	t.Helper()
 	lost := 0
 	for k, want := range oracle {
-		v, found, err := s.Lookup(k)
+		v, found, err := s.GetU64(k)
 		if err != nil {
 			t.Fatalf("%s: final lookup: %v", name, err)
 		}
@@ -139,7 +140,7 @@ func verifyFinal(t *testing.T, name string, s store, oracle map[uint64]uint64, s
 		if _, ok := oracle[k]; ok {
 			continue
 		}
-		if _, found, _ := s.Lookup(k); found {
+		if _, found, _ := s.GetU64(k); found {
 			t.Fatalf("%s: found never-inserted key %#x", name, k)
 		}
 	}
@@ -150,23 +151,10 @@ func verifyFinal(t *testing.T, name string, s store, oracle map[uint64]uint64, s
 // stream stays below eviction onset.
 func strictStores(t *testing.T, policy Policy) (*CLAM, *Sharded) {
 	t.Helper()
-	c, err := Open(Options{
-		Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20,
-		Policy: policy, Seed: 11,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := OpenSharded(ShardedOptions{
-		Options: Options{
-			Device: IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20,
-			Policy: policy, Seed: 11,
-		},
-		Shards: 4,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := []Option{WithDevice(IntelSSD), WithFlash(16 << 20), WithMemory(4 << 20),
+		WithPolicy(policy), WithSeed(11)}
+	c := openCLAMT(t, base...)
+	s := openShardedT(t, append(base[:len(base):len(base)], WithShards(4))...)
 	return c, s
 }
 
@@ -198,8 +186,8 @@ func TestDifferentialStrictNoEvictions(t *testing.T) {
 		t.Fatalf("oracle divergence: clam %d keys, sharded %d", len(co), len(so))
 	}
 	for k, v := range co {
-		cv, cok, _ := c.Lookup(k)
-		sv, sok, _ := s.Lookup(k)
+		cv, cok, _ := c.GetU64(k)
+		sv, sok, _ := s.GetU64(k)
 		if cv != sv || cok != sok || !cok || cv != v {
 			t.Fatalf("clam/sharded diverge on %#x: (%d,%v) vs (%d,%v), oracle %d", k, cv, cok, sv, sok, v)
 		}
@@ -211,23 +199,10 @@ func TestDifferentialStrictNoEvictions(t *testing.T) {
 // times.
 func evictionStores(t *testing.T, policy Policy) (*CLAM, *Sharded) {
 	t.Helper()
-	c, err := Open(Options{
-		Device: IntelSSD, FlashBytes: 1 << 20, MemoryBytes: 256 << 10,
-		BufferKB: 8, Policy: policy, Seed: 23,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := OpenSharded(ShardedOptions{
-		Options: Options{
-			Device: IntelSSD, FlashBytes: 1 << 20, MemoryBytes: 256 << 10,
-			BufferKB: 8, Policy: policy, Seed: 23,
-		},
-		Shards: 4,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := []Option{WithDevice(IntelSSD), WithFlash(1 << 20), WithMemory(256 << 10),
+		WithBufferKB(8), WithPolicy(policy), WithSeed(23)}
+	c := openCLAMT(t, base...)
+	s := openShardedT(t, append(base[:len(base):len(base)], WithShards(4))...)
 	return c, s
 }
 
@@ -271,7 +246,7 @@ func TestDifferentialEvictionRegime(t *testing.T) {
 // batchStore is a store that also offers the batched lookup pipeline.
 type batchStore interface {
 	store
-	LookupBatch(keys []uint64) ([]uint64, []bool, error)
+	GetBatchU64(ctx context.Context, keys []uint64) ([]uint64, []bool, error)
 }
 
 // applyBatchedDifferential drives the same op stream into a serial-lookup
@@ -294,12 +269,12 @@ func applyBatchedDifferential(t *testing.T, name string, serial, batched batchSt
 		if len(pkeys) == 0 {
 			return
 		}
-		bv, bok, err := batched.LookupBatch(pkeys)
+		bv, bok, err := batched.GetBatchU64(context.Background(), pkeys)
 		if err != nil {
 			t.Fatalf("%s: batch before op %d: %v", name, at, err)
 		}
 		for i, k := range pkeys {
-			sv, sok, err := serial.Lookup(k)
+			sv, sok, err := serial.GetU64(k)
 			if err != nil {
 				t.Fatalf("%s: serial lookup before op %d: %v", name, at, err)
 			}
@@ -329,10 +304,10 @@ func applyBatchedDifferential(t *testing.T, name string, serial, batched batchSt
 	for i, o := range ops {
 		switch o.kind {
 		case opInsert:
-			both(i, func(s store) error { return s.Insert(o.key, o.val) })
+			both(i, func(s store) error { return s.PutU64(o.key, o.val) })
 			oracle[o.key] = o.val
 		case opDelete:
-			both(i, func(s store) error { return s.Delete(o.key) })
+			both(i, func(s store) error { return s.DeleteU64(o.key) })
 			delete(oracle, o.key)
 		case opFlush:
 			both(i, func(s store) error { return s.Flush() })

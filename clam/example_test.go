@@ -1,82 +1,92 @@
 package clam_test
 
 import (
+	"context"
+	"crypto/sha1"
 	"fmt"
 	"log"
 
 	"repro/clam"
 )
 
-// Example mirrors the package quick start: open a CLAM over a simulated
-// SSD, insert fingerprint → address mappings, look them up, update and
-// delete with the paper's lazy semantics.
+// Example mirrors the package quick start: open a Store over a simulated
+// SSD, map content fingerprints to variable-length chunks, look them up,
+// update and delete with the paper's lazy semantics.
 func Example() {
-	c, err := clam.Open(clam.Options{
-		Device:      clam.IntelSSD,
-		FlashBytes:  16 << 20, // scaled-down stand-in for the paper's 32 GB
-		MemoryBytes: 4 << 20,  // DRAM budget, split per §6.4
-	})
+	st, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(16<<20), // scaled-down stand-in for the paper's 32 GB
+		clam.WithMemory(4<<20), // DRAM budget, split per §6.4
+		clam.WithValueLog(8<<20) /* chunk storage for byte values */)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	const fingerprint, diskAddress = 0x9e3779b97f4a7c15, 4096
-	if err := c.Insert(fingerprint, diskAddress); err != nil {
+	chunk := []byte("the quick brown chunk")
+	fp := sha1.Sum(chunk) // a real 20-byte content fingerprint
+	if err := st.Put(fp[:], chunk); err != nil {
 		log.Fatal(err)
 	}
-	if addr, ok, err := c.Lookup(fingerprint); err == nil && ok {
-		fmt.Println("found at", addr)
+	if data, ok, err := st.Get(fp[:]); err == nil && ok {
+		fmt.Printf("found %d bytes: %s\n", len(data), data)
 	}
 
-	c.Update(fingerprint, 8192) // lazy update: newest version shadows older ones
-	addr, _, _ := c.Lookup(fingerprint)
-	fmt.Println("updated to", addr)
+	st.Update(fp[:], []byte("v2")) // lazy update: newest version shadows older ones
+	data, _, _ := st.Get(fp[:])
+	fmt.Printf("updated to %s\n", data)
 
-	c.Delete(fingerprint) // lazy delete (§5.1.1)
-	if _, ok, _ := c.Lookup(fingerprint); !ok {
+	st.Delete(fp[:]) // lazy delete (§5.1.1)
+	if _, ok, _ := st.Get(fp[:]); !ok {
 		fmt.Println("deleted")
 	}
+
+	// The U64 fast path stores word-sized values inline — the paper's
+	// fingerprint → address workload, no value log involved.
+	st.PutU64(0x9e3779b97f4a7c15, 4096)
+	if addr, ok, _ := st.GetU64(0x9e3779b97f4a7c15); ok {
+		fmt.Println("address", addr)
+	}
 	// Output:
-	// found at 4096
-	// updated to 8192
+	// found 21 bytes: the quick brown chunk
+	// updated to v2
 	// deleted
+	// address 4096
 }
 
-// ExampleOpenSharded scales the same API across shards: keys route by
-// their high bits, batches fan out over a worker pool, and Stats merges
-// the per-shard state.
-func ExampleOpenSharded() {
-	s, err := clam.OpenSharded(clam.ShardedOptions{
-		Options: clam.Options{
-			Device:      clam.IntelSSD,
-			FlashBytes:  32 << 20, // totals, split evenly across shards
-			MemoryBytes: 8 << 20,
-		},
-		Shards: 4,
-	})
+// Example_sharded scales the same Store API across shards: byte keys route
+// by fingerprint bits, batches fan out over a worker pool, and Stats
+// merges the per-shard state.
+func Example_sharded() {
+	st, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(32<<20), // totals, split evenly across shards
+		clam.WithMemory(8<<20),
+		clam.WithShards(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Uniform fingerprints spread across shards; one batch call groups
-	// them by shard and dispatches the groups in parallel.
-	keys := []uint64{0x0123456789abcdef, 0x4aa3bd1c8e21f000, 0x8f00ba4400112233, 0xfedcba9876543210}
-	vals := []uint64{1, 2, 3, 4}
-	if err := s.InsertBatch(keys, vals); err != nil {
+	// One batch call fingerprints the keys, groups them by shard and
+	// dispatches chunk tasks across the worker pool.
+	keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("delta")}
+	vals := [][]byte{[]byte("1"), []byte("22"), []byte("333"), []byte("4444")}
+	ctx := context.Background()
+	if err := st.PutBatch(ctx, keys, vals); err != nil {
 		log.Fatal(err)
 	}
-	got, found, err := s.LookupBatch(keys)
+	got, found, err := st.GetBatch(ctx, keys)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i := range keys {
-		fmt.Println(found[i], got[i])
+		fmt.Println(found[i], string(got[i]))
 	}
-	fmt.Println("inserts seen:", s.Stats().Core.Inserts)
+	fmt.Println("inserts seen:", st.Stats().Core.Inserts)
 	// Output:
 	// true 1
-	// true 2
-	// true 3
-	// true 4
+	// true 22
+	// true 333
+	// true 4444
 	// inserts seen: 4
 }

@@ -1,6 +1,7 @@
 package clam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -10,126 +11,105 @@ import (
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/metrics"
-	"repro/internal/storage"
 )
 
-// ShardedOptions configures a Sharded CLAM. The embedded Options describe
-// the aggregate deployment: FlashBytes and MemoryBytes are totals that are
-// split evenly across shards, and every shard inherits the same device
-// kind, eviction policy and ablation switches. Options.Clock and
-// Options.CustomDevice must be nil — each shard owns a private clock and
-// device model by construction.
-type ShardedOptions struct {
-	Options
-
-	// Shards is the number of independent partitions; it must be a power
-	// of two (the router uses the top log2(Shards) key bits). Default 8.
-	Shards int
-	// Workers bounds the goroutine pool used by the batch operations
-	// (InsertBatch, LookupBatch, DeleteBatch, Flush). Default: one worker
-	// per shard.
-	Workers int
-	// BatchChunk is the batch router's task granularity: each shard's
-	// share of a batch is consumed in chunks of at most this many keys.
-	// A chunk is one core batched-pipeline call, so the setting bounds
-	// gather scratch and the scope of same-page read dedupe, and is the
-	// interval at which the owning worker re-visits the shared queue
-	// state. Shards themselves are stolen whole by idle workers (a shard
-	// serializes behind its own lock, so only one worker can ever make
-	// progress on it). Default 512.
-	BatchChunk int
-}
-
-// Sharded is a horizontally partitioned CLAM: the 64-bit key space is split
-// across 2^b shards by the top b key bits, and each shard is a complete,
-// independently locked CLAM — its own BufferHash, device model, virtual
-// clock and latency histograms. Operations on different shards proceed
-// fully in parallel; operations on the same shard serialize behind that
-// shard's mutex, preserving the paper's blocking-I/O semantics per shard.
+// Sharded is a horizontally partitioned CLAM implementing Store: the
+// 64-bit key space is split across 2^b shards by the top b key bits, and
+// each shard is a complete, independently locked CLAM — its own
+// BufferHash, device models, value log, virtual clock and latency
+// histograms. Operations on different shards proceed fully in parallel;
+// operations on the same shard serialize behind that shard's mutex,
+// preserving the paper's blocking-I/O semantics per shard.
 //
-// Routing uses raw high key bits (not a hash) so the partition is stable
-// and transparent; keys are assumed to be uniformly distributed
-// fingerprints, as in every workload of the paper. Hash non-uniform keys
-// (e.g. with hashutil.Mix64, a bijection) before storing them.
+// U64 keys route by their raw high bits (not a hash) so the partition is
+// stable and transparent; they are assumed to be uniformly distributed
+// fingerprints, as in every workload of the paper (hash non-uniform keys
+// first, e.g. with hashutil.Mix64). Byte keys route by the high bits of
+// their fingerprint, which is uniform by construction.
 //
 // Virtual time is per-shard: each shard's clock advances only by the work
-// that shard performed, modeling one device (and one I/O context) per
+// that shard performed, modeling one device set (and one I/O context) per
 // shard. Aggregate views (Stats, Now) merge the per-shard state on demand.
 type Sharded struct {
 	shards  []*CLAM
 	shift   uint // 64 - log2(len(shards)); shift ≥ 64 routes everything to shard 0
 	workers int
-	chunk   int       // batch router task granularity (keys per chunk)
-	groups  sync.Pool // *shardGroups, reused across concurrent batches
-	gather  sync.Pool // *gatherScratch, per-worker LookupBatch buffers
+	chunk   int    // batch router task granularity (keys per chunk)
+	fpSeed  uint64 // deployment-level byte-key fingerprint seed
+	groups  sync.Pool
+	gather  sync.Pool // *gatherScratch, per-worker batch buffers
 }
 
-// gatherScratch is one worker's chunk-sized gather/scatter buffers for
-// LookupBatch, pooled so steady batch streams allocate nothing per call.
+// gatherScratch is one worker's chunk-sized gather/scatter buffers for the
+// batched lookups, pooled so steady batch streams allocate nothing per
+// call.
 type gatherScratch struct {
 	keys []uint64
 	res  []core.LookupResult
+
+	bkeys  [][]byte // byte-path gathered keys
+	bvals  [][]byte
+	bfound []bool
 }
 
-// OpenSharded builds a Sharded CLAM from opts, opening one CLAM per shard
-// with FlashBytes/Shards and MemoryBytes/Shards each and a per-shard
-// derived hash seed.
-func OpenSharded(opts ShardedOptions) (*Sharded, error) {
-	n := opts.Shards
-	if n == 0 {
-		n = 8
-	}
-	if n < 1 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("clam: Shards must be a power of two, got %d", n)
-	}
-	workers := opts.Workers
+// openSharded builds a Sharded CLAM from a resolved config, opening one
+// CLAM per shard with an even split of the flash, memory and value-log
+// budgets and a per-shard derived hash seed.
+func openSharded(cfg config) (*Sharded, error) {
+	n := cfg.shards
+	workers := cfg.workers
 	if workers == 0 {
 		workers = n
 	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("clam: WithShards(%d): shard count must be a power of two", n)
+	}
 	if workers < 1 {
-		return nil, fmt.Errorf("clam: Workers must be positive, got %d", workers)
+		return nil, fmt.Errorf("clam: WithWorkers(%d): worker count must be positive", workers)
 	}
 	if workers > n {
 		workers = n
 	}
-	if opts.Clock != nil {
-		return nil, errors.New("clam: ShardedOptions.Clock must be nil; each shard owns its own clock")
+	if cfg.clock != nil {
+		return nil, errors.New("clam: WithClock is incompatible with WithShards; each shard owns its own clock")
 	}
-	if opts.CustomDevice != nil {
-		return nil, errors.New("clam: ShardedOptions.CustomDevice must be nil; each shard owns its own device")
+	if cfg.customDevice != nil || cfg.customVLogDev != nil {
+		return nil, errors.New("clam: WithCustomDevice/WithValueLogDevice are incompatible with WithShards; each shard owns its own devices")
 	}
-	if opts.FlashBytes%int64(n) != 0 {
-		return nil, fmt.Errorf("clam: FlashBytes %d not divisible by %d shards", opts.FlashBytes, n)
+	if cfg.flashBytes%int64(n) != 0 {
+		return nil, fmt.Errorf("clam: flash capacity %d not divisible by %d shards", cfg.flashBytes, n)
 	}
-	if opts.MemoryBytes%int64(n) != 0 {
-		return nil, fmt.Errorf("clam: MemoryBytes %d not divisible by %d shards", opts.MemoryBytes, n)
+	if cfg.memoryBytes%int64(n) != 0 {
+		return nil, fmt.Errorf("clam: memory budget %d not divisible by %d shards", cfg.memoryBytes, n)
 	}
-	seed := opts.Seed
+	if cfg.valueLogBytes%int64(n) != 0 {
+		return nil, fmt.Errorf("clam: value-log capacity %d not divisible by %d shards", cfg.valueLogBytes, n)
+	}
+	seed := cfg.seed
 	if seed == 0 {
 		seed = 1
-	}
-	chunk := opts.BatchChunk
-	if chunk == 0 {
-		chunk = 512
-	}
-	if chunk < 1 {
-		return nil, fmt.Errorf("clam: BatchChunk must be positive, got %d", chunk)
 	}
 	s := &Sharded{
 		shards:  make([]*CLAM, n),
 		shift:   64 - uint(bits.Len(uint(n))-1),
 		workers: workers,
-		chunk:   chunk,
+		chunk:   cfg.batchChunk,
+		fpSeed:  seed,
 	}
 	for i := range s.shards {
-		po := opts.Options
-		po.FlashBytes = opts.FlashBytes / int64(n)
-		po.MemoryBytes = opts.MemoryBytes / int64(n)
-		po.Seed = hashutil.Hash64Seed(uint64(i), seed)
-		c, err := Open(po)
+		po := cfg
+		po.flashBytes = cfg.flashBytes / int64(n)
+		po.memoryBytes = cfg.memoryBytes / int64(n)
+		po.valueLogBytes = cfg.valueLogBytes / int64(n)
+		po.seed = hashutil.Hash64Seed(uint64(i), seed)
+		c, err := openCLAM(po)
 		if err != nil {
 			return nil, fmt.Errorf("clam: shard %d: %w", i, err)
 		}
+		// Shards fingerprint byte keys with the deployment seed, not their
+		// derived internal seed, so the live Shard(i) handle addresses the
+		// same byte-key space the parent routes into it.
+		c.fpSeed = seed
 		s.shards[i] = c
 	}
 	return s, nil
@@ -157,23 +137,52 @@ func (s *Sharded) Workers() int { return s.workers }
 // The returned CLAM is live; its methods take the shard lock as usual.
 func (s *Sharded) Shard(i int) *CLAM { return s.shards[i] }
 
-// Insert adds or updates a (key, value) mapping on the key's shard.
-func (s *Sharded) Insert(key, value uint64) error {
-	return s.shard(key).Insert(key, value)
+// --- single-key operations ---
+
+// PutU64 adds or updates a (key, value) mapping on the key's shard.
+func (s *Sharded) PutU64(key, value uint64) error {
+	return s.shard(key).PutU64(key, value)
 }
 
-// Update is an alias of Insert with the paper's lazy-update semantics.
-func (s *Sharded) Update(key, value uint64) error { return s.Insert(key, value) }
+// UpdateU64 is an alias of PutU64 with the paper's lazy-update semantics
+// (§5.1.1); see Store.
+func (s *Sharded) UpdateU64(key, value uint64) error { return s.PutU64(key, value) }
 
-// Lookup returns the latest value stored under key.
-func (s *Sharded) Lookup(key uint64) (value uint64, found bool, err error) {
-	return s.shard(key).Lookup(key)
+// GetU64 returns the latest value stored under key.
+func (s *Sharded) GetU64(key uint64) (value uint64, found bool, err error) {
+	return s.shard(key).GetU64(key)
 }
 
-// Delete lazily removes key (§5.1.1) on its shard.
-func (s *Sharded) Delete(key uint64) error {
-	return s.shard(key).Delete(key)
+// DeleteU64 lazily removes key (§5.1.1) on its shard.
+func (s *Sharded) DeleteU64(key uint64) error {
+	return s.shard(key).DeleteU64(key)
 }
+
+// Put adds or updates a byte key → value mapping: the key's fingerprint
+// picks the shard, and the record lands in that shard's value log.
+func (s *Sharded) Put(key, value []byte) error {
+	fp := fingerprint(key, s.fpSeed)
+	return s.shards[s.shardIndex(fp)].putRecord(fp, key, value)
+}
+
+// Update is an alias of Put with the paper's lazy-update semantics
+// (§5.1.1); see Store.
+func (s *Sharded) Update(key, value []byte) error { return s.Put(key, value) }
+
+// Get returns the latest value stored under key, verified against the full
+// key bytes.
+func (s *Sharded) Get(key []byte) (value []byte, found bool, err error) {
+	fp := fingerprint(key, s.fpSeed)
+	return s.shards[s.shardIndex(fp)].getRecord(fp, key)
+}
+
+// Delete lazily removes a byte key on its fingerprint's shard.
+func (s *Sharded) Delete(key []byte) error {
+	fp := fingerprint(key, s.fpSeed)
+	return s.shards[s.shardIndex(fp)].deleteFP(fp)
+}
+
+// --- maintenance ---
 
 // Flush forces all shards' buffered entries to flash, flushing shards in
 // parallel across the worker pool.
@@ -215,8 +224,8 @@ func (s *Sharded) ResetMetrics() {
 	}
 }
 
-// Stats merges the per-shard snapshots into one aggregate view: core
-// counters and device counters are summed, latency histograms are merged
+// Stats merges the per-shard snapshots into one aggregate view: core,
+// device and value-log counters are summed, latency histograms are merged
 // before summarizing (so percentiles reflect the true global
 // distribution), and memory footprints are added.
 func (s *Sharded) Stats() Stats {
@@ -225,10 +234,12 @@ func (s *Sharded) Stats() Stats {
 	lk := make([]*metrics.Histogram, 0, len(s.shards))
 	del := make([]*metrics.Histogram, 0, len(s.shards))
 	for _, c := range s.shards {
-		cs, dc, mem, hi, hl, hd := c.snapshot()
-		agg.Core.Merge(cs)
-		agg.Device.Add(dc)
-		agg.Memory.Add(mem)
+		cs, hi, hl, hd := c.snapshot()
+		agg.Core.Merge(cs.Core)
+		agg.Device.Add(cs.Device)
+		agg.ValueDevice.Add(cs.ValueDevice)
+		agg.ValueLog.Add(cs.ValueLog)
+		agg.Memory.Add(cs.Memory)
 		ins = append(ins, hi)
 		lk = append(lk, hl)
 		del = append(del, hd)
@@ -240,11 +251,20 @@ func (s *Sharded) Stats() Stats {
 }
 
 // snapshot copies one shard's metric state under its lock.
-func (c *CLAM) snapshot() (core.Stats, storage.Counters, core.MemoryFootprint, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram) {
+func (c *CLAM) snapshot() (Stats, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	st := Stats{
+		Core:   c.bh.Stats(),
+		Device: c.dev.Counters(),
+		Memory: c.bh.MemoryFootprint(),
+	}
+	if c.vlog != nil {
+		st.ValueDevice = c.vlog.Device().Counters()
+		st.ValueLog = c.vlog.Stats()
+	}
 	hi, hl, hd := c.insert, c.lookup, c.del
-	return c.bh.Stats(), c.dev.Counters(), c.bh.MemoryFootprint(), &hi, &hl, &hd
+	return st, &hi, &hl, &hd
 }
 
 // --- batch grouping and the chunked batch router ---
@@ -252,9 +272,7 @@ func (c *CLAM) snapshot() (core.Stats, storage.Counters, core.MemoryFootprint, *
 // shardGroups is the reusable result of grouping a batch's key indices by
 // shard with a counting sort: shard sh owns idx[start[sh]:start[sh+1]], in
 // input order. cur is the router's per-shard consumption cursor. Instances
-// are pooled on the Sharded because batches run concurrently; the old
-// implementation allocated a [][]int plus one slice per active shard on
-// every call.
+// are pooled on the Sharded because batches run concurrently.
 type shardGroups struct {
 	idx   []int
 	start []int
@@ -262,7 +280,8 @@ type shardGroups struct {
 }
 
 // groupByShard buckets key indices by owning shard via a two-pass counting
-// sort into a pooled shardGroups. Callers return it with putGroups.
+// sort into a pooled shardGroups. For byte batches the caller passes the
+// precomputed fingerprints. Callers return the groups with putGroups.
 func (s *Sharded) groupByShard(keys []uint64) *shardGroups {
 	n := len(s.shards)
 	g, _ := s.groups.Get().(*shardGroups)
@@ -322,16 +341,18 @@ func (g *shardGroups) active() []int {
 //     shared queue only when the shard is drained, stealing the next
 //     pending shard the moment one exists.
 //
-// Chunks remain the unit of work between scheduler decisions: each chunk is
+// Chunks are the unit of work between scheduler decisions: each chunk is
 // one core batched-pipeline call (bounding gather scratch and page-dedupe
-// scope) and a natural preemption point for future cancellation/reshard.
+// scope) and the router's cancellation point — ctx is checked before every
+// chunk, and a canceled batch stops claiming chunks and returns ctx.Err()
+// joined with any chunk errors. Work already applied stays applied.
 //
 // run is called with the claiming worker's id (0 ≤ worker < Workers(), for
 // per-worker scratch), the shard, and the chunk's key indices. A chunk
 // error stops that shard's remaining chunks; other shards keep going, and
 // all errors are joined — matching the old dispatch's "every shard is
 // attempted" contract.
-func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []int) error) error {
+func (s *Sharded) runChunked(ctx context.Context, g *shardGroups, run func(worker, shard int, idxs []int) error) error {
 	var ready []int
 	remaining := 0
 	for sh := 0; sh+1 < len(g.start); sh++ {
@@ -351,6 +372,9 @@ func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []
 		var errs []error
 		for _, sh := range ready {
 			for g.cur[sh] < g.start[sh+1] {
+				if err := ctx.Err(); err != nil {
+					return errors.Join(append(errs, err)...)
+				}
 				lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
 				g.cur[sh] = hi
 				if err := run(0, sh, g.idx[lo:hi]); err != nil {
@@ -363,9 +387,10 @@ func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []
 	}
 
 	var (
-		mu   sync.Mutex
-		errs = make([][]error, workers)
-		wg   sync.WaitGroup
+		mu       sync.Mutex
+		errs     = make([][]error, workers)
+		canceled = make([]error, workers)
+		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -376,9 +401,13 @@ func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []
 			for len(ready) > 0 {
 				sh := ready[0]
 				ready = ready[1:]
-				// Own sh until drained or failed; between chunks only the
-				// cursor advance needs the queue lock.
+				// Own sh until drained, failed or canceled; between chunks
+				// only the cursor advance needs the queue lock.
 				for g.cur[sh] < g.start[sh+1] {
+					if err := ctx.Err(); err != nil {
+						canceled[w] = err
+						return
+					}
 					lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
 					g.cur[sh] = hi
 					mu.Unlock()
@@ -397,23 +426,31 @@ func (s *Sharded) runChunked(g *shardGroups, run func(worker, shard int, idxs []
 	for _, we := range errs {
 		all = append(all, we...)
 	}
+	for _, ce := range canceled {
+		if ce != nil {
+			all = append(all, ce)
+			break // one cancellation error is enough
+		}
+	}
 	return errors.Join(all...)
 }
 
-// InsertBatch inserts len(keys) mappings, grouped by shard and dispatched
+// --- U64 batches ---
+
+// PutBatchU64 inserts len(keys) mappings, grouped by shard and dispatched
 // through the chunked batch router. Within a shard the batch preserves
-// input order; across shards there is no ordering. On error the batch may
-// be partially applied; all shard errors are joined.
-func (s *Sharded) InsertBatch(keys, values []uint64) error {
+// input order; across shards there is no ordering. On error (or
+// cancellation) the batch may be partially applied; all errors are joined.
+func (s *Sharded) PutBatchU64(ctx context.Context, keys, values []uint64) error {
 	if len(keys) != len(values) {
-		return fmt.Errorf("clam: InsertBatch length mismatch: %d keys, %d values", len(keys), len(values))
+		return fmt.Errorf("clam: PutBatchU64 length mismatch: %d keys, %d values", len(keys), len(values))
 	}
 	g := s.groupByShard(keys)
 	defer s.putGroups(g)
-	return s.runChunked(g, func(_, shard int, idxs []int) error {
+	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
 		c := s.shards[shard]
 		for _, i := range idxs {
-			if err := c.Insert(keys[i], values[i]); err != nil {
+			if err := c.PutU64(keys[i], values[i]); err != nil {
 				return err
 			}
 		}
@@ -421,14 +458,14 @@ func (s *Sharded) InsertBatch(keys, values []uint64) error {
 	})
 }
 
-// LookupBatch looks up len(keys) keys and returns per-key results in input
+// GetBatchU64 looks up len(keys) keys and returns per-key results in input
 // order. Each chunk of a shard's group runs through the core batched
-// lookup pipeline (CLAM.LookupBatch): the in-memory phase answers
-// buffer/Bloom hits with zero I/O, and the flash phase dedupes keys on the
-// same page, sorts probes by device address, and overlaps them across the
-// device's queue lanes. Chunks are dispatched by the stealing router, so
-// a Zipf-skewed batch keeps every worker busy.
-func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err error) {
+// lookup pipeline: the in-memory phase answers buffer/Bloom hits with zero
+// I/O, and the flash phase dedupes keys on the same page, sorts probes by
+// device address, and overlaps them across the device's queue lanes.
+// Chunks are dispatched by the stealing router, so a Zipf-skewed batch
+// keeps every worker busy; ctx cancels between chunks.
+func (s *Sharded) GetBatchU64(ctx context.Context, keys []uint64) (values []uint64, found []bool, err error) {
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -436,35 +473,16 @@ func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err
 	}
 	g := s.groupByShard(keys)
 	defer s.putGroups(g)
-	// Per-worker gather/scatter scratch, pooled across calls: chunk
-	// indices are positions in the caller's key array, so keys are
-	// gathered densely for the core batch and results scattered back.
 	scratch := make([]*gatherScratch, s.workers)
-	defer func() {
-		for _, gs := range scratch {
-			if gs != nil {
-				s.gather.Put(gs)
-			}
-		}
-	}()
-	err = s.runChunked(g, func(w, shard int, idxs []int) error {
-		gs := scratch[w]
-		if gs == nil {
-			gs, _ = s.gather.Get().(*gatherScratch)
-			if gs == nil || cap(gs.keys) < s.chunk {
-				gs = &gatherScratch{
-					keys: make([]uint64, 0, s.chunk),
-					res:  make([]core.LookupResult, s.chunk),
-				}
-			}
-			scratch[w] = gs
-		}
+	defer s.releaseScratch(scratch)
+	err = s.runChunked(ctx, g, func(w, shard int, idxs []int) error {
+		gs := s.workerScratch(scratch, w)
 		kb := gs.keys[:0]
 		for _, i := range idxs {
 			kb = append(kb, keys[i])
 		}
 		rb := gs.res[:len(idxs)]
-		if err := s.shards[shard].lookupBatchInto(kb, rb); err != nil {
+		if err := s.shards[shard].getBatchU64Into(kb, rb); err != nil {
 			return err
 		}
 		for j, i := range idxs {
@@ -478,10 +496,146 @@ func (s *Sharded) LookupBatch(keys []uint64) (values []uint64, found []bool, err
 	return values, found, nil
 }
 
-// lookupBatchPerKey is PR 1's batch path — whole shard groups dispatched
-// across the worker pool, one blocking Lookup per key — kept unexported as
+// DeleteBatchU64 lazily removes len(keys) keys, grouped and dispatched like
+// PutBatchU64.
+func (s *Sharded) DeleteBatchU64(ctx context.Context, keys []uint64) error {
+	g := s.groupByShard(keys)
+	defer s.putGroups(g)
+	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
+		c := s.shards[shard]
+		for _, i := range idxs {
+			if err := c.DeleteU64(keys[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// workerScratch lazily binds a pooled gatherScratch to worker w.
+func (s *Sharded) workerScratch(scratch []*gatherScratch, w int) *gatherScratch {
+	gs := scratch[w]
+	if gs == nil {
+		gs, _ = s.gather.Get().(*gatherScratch)
+		if gs == nil || cap(gs.keys) < s.chunk {
+			gs = &gatherScratch{
+				keys: make([]uint64, 0, s.chunk),
+				res:  make([]core.LookupResult, s.chunk),
+			}
+		}
+		scratch[w] = gs
+	}
+	return gs
+}
+
+// releaseScratch returns the per-worker scratch to the pool.
+func (s *Sharded) releaseScratch(scratch []*gatherScratch) {
+	for _, gs := range scratch {
+		if gs != nil {
+			s.gather.Put(gs)
+		}
+	}
+}
+
+// --- byte batches ---
+
+// fingerprints computes the batch's fingerprints once; they both route the
+// batch and serve as the shards' index keys.
+func (s *Sharded) fingerprints(keys [][]byte) []uint64 {
+	fps := make([]uint64, len(keys))
+	for i, k := range keys {
+		fps[i] = fingerprint(k, s.fpSeed)
+	}
+	return fps
+}
+
+// PutBatch applies len(keys) byte Put operations through the chunked
+// router; see PutBatchU64 for ordering and error semantics.
+func (s *Sharded) PutBatch(ctx context.Context, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("clam: PutBatch length mismatch: %d keys, %d values", len(keys), len(values))
+	}
+	fps := s.fingerprints(keys)
+	g := s.groupByShard(fps)
+	defer s.putGroups(g)
+	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
+		c := s.shards[shard]
+		for _, i := range idxs {
+			if err := c.putRecord(fps[i], keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// GetBatch looks up len(keys) byte keys in input order. Each chunk runs
+// two overlapped I/O streams on its shard: the core batched index pipeline
+// resolves fingerprints to record pointers, then the chunk's surviving
+// value-log records are fetched as one overlapped batched read.
+func (s *Sharded) GetBatch(ctx context.Context, keys [][]byte) (values [][]byte, found []bool, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	fps := s.fingerprints(keys)
+	g := s.groupByShard(fps)
+	defer s.putGroups(g)
+	scratch := make([]*gatherScratch, s.workers)
+	defer s.releaseScratch(scratch)
+	err = s.runChunked(ctx, g, func(w, shard int, idxs []int) error {
+		gs := s.workerScratch(scratch, w)
+		fb := gs.keys[:0]
+		kb := gs.bkeys[:0]
+		for _, i := range idxs {
+			fb = append(fb, fps[i])
+			kb = append(kb, keys[i])
+		}
+		gs.bkeys = kb
+		if cap(gs.bvals) < len(idxs) {
+			gs.bvals = make([][]byte, s.chunk)
+			gs.bfound = make([]bool, s.chunk)
+		}
+		vb, ob := gs.bvals[:len(idxs)], gs.bfound[:len(idxs)]
+		for j := range vb {
+			vb[j], ob[j] = nil, false
+		}
+		if err := s.shards[shard].getBatchRecords(fb, kb, vb, ob); err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			values[i], found[i] = vb[j], ob[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return values, found, nil
+}
+
+// DeleteBatch lazily removes len(keys) byte keys through the chunked
+// router.
+func (s *Sharded) DeleteBatch(ctx context.Context, keys [][]byte) error {
+	fps := s.fingerprints(keys)
+	g := s.groupByShard(fps)
+	defer s.putGroups(g)
+	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
+		c := s.shards[shard]
+		for _, i := range idxs {
+			if err := c.deleteFP(fps[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// getBatchU64PerKey is the PR-1 batch path — whole shard groups dispatched
+// across the worker pool, one blocking GetU64 per key — kept unexported as
 // the baseline the batched-pipeline benchmarks compare against.
-func (s *Sharded) lookupBatchPerKey(keys []uint64) (values []uint64, found []bool, err error) {
+func (s *Sharded) getBatchU64PerKey(keys []uint64) (values []uint64, found []bool, err error) {
 	values = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
 	g := s.groupByShard(keys)
@@ -489,7 +643,7 @@ func (s *Sharded) lookupBatchPerKey(keys []uint64) (values []uint64, found []boo
 	err = s.runShards(g.active(), func(shard int) error {
 		c := s.shards[shard]
 		for _, i := range g.idx[g.start[shard]:g.start[shard+1]] {
-			v, ok, err := c.Lookup(keys[i])
+			v, ok, err := c.GetU64(keys[i])
 			if err != nil {
 				return err
 			}
@@ -498,22 +652,6 @@ func (s *Sharded) lookupBatchPerKey(keys []uint64) (values []uint64, found []boo
 		return nil
 	})
 	return values, found, err
-}
-
-// DeleteBatch lazily removes len(keys) keys, grouped and dispatched like
-// InsertBatch.
-func (s *Sharded) DeleteBatch(keys []uint64) error {
-	g := s.groupByShard(keys)
-	defer s.putGroups(g)
-	return s.runChunked(g, func(_, shard int, idxs []int) error {
-		c := s.shards[shard]
-		for _, i := range idxs {
-			if err := c.Delete(keys[i]); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
 }
 
 // runShards executes run(shard) for every listed shard, spread over at

@@ -1,6 +1,7 @@
 package clam
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -8,70 +9,65 @@ import (
 	"repro/internal/vclock"
 )
 
-func openSharded(t testing.TB, shards, workers int) *Sharded {
+// openShardedSmall opens the standard test deployment: 32 MB flash, 8 MB
+// DRAM, seed 7.
+func openShardedSmall(t testing.TB, shards, workers int) *Sharded {
 	t.Helper()
-	s, err := OpenSharded(ShardedOptions{
-		Options: Options{
-			Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Seed: 7,
-		},
-		Shards:  shards,
-		Workers: workers,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
+	return openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20),
+		WithSeed(7), WithShards(shards), WithWorkers(workers))
 }
 
 func TestOpenShardedValidation(t *testing.T) {
-	base := Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20}
+	base := []Option{WithDevice(IntelSSD), WithFlash(32 << 20), WithMemory(8 << 20)}
 	cases := []struct {
 		name string
-		opts ShardedOptions
+		opts []Option
 	}{
-		{"non-power-of-two", ShardedOptions{Options: base, Shards: 3}},
-		{"negative shards", ShardedOptions{Options: base, Shards: -4}},
-		{"negative workers", ShardedOptions{Options: base, Shards: 4, Workers: -1}},
-		{"shared clock", ShardedOptions{Options: func() Options { o := base; o.Clock = vclock.New(); return o }(), Shards: 4}},
-		{"indivisible flash", ShardedOptions{Options: func() Options { o := base; o.FlashBytes = 32<<20 + 1; return o }(), Shards: 4}},
-		{"zero flash", ShardedOptions{Options: Options{}, Shards: 4}},
+		{"non-power-of-two", append(base[:3:3], WithShards(3))},
+		{"negative shards", append(base[:3:3], WithShards(-4))},
+		{"negative workers", append(base[:3:3], WithShards(4), WithWorkers(-1))},
+		{"shared clock", append(base[:3:3], WithShards(4), WithClock(vclock.New()))},
+		{"indivisible flash", []Option{WithDevice(IntelSSD), WithFlash(32<<20 + 1), WithMemory(8 << 20), WithShards(4)}},
+		{"zero flash", []Option{WithShards(4)}},
+		{"zero chunk", append(base[:3:3], WithShards(4), WithBatchChunk(0))},
 	}
 	for _, c := range cases {
-		if _, err := OpenSharded(c.opts); err == nil {
-			t.Errorf("%s: OpenSharded accepted invalid options", c.name)
+		if _, err := Open(c.opts...); err == nil {
+			t.Errorf("%s: Open accepted invalid options", c.name)
 		}
 	}
 }
 
 func TestOpenShardedDefaults(t *testing.T) {
-	s, err := OpenSharded(ShardedOptions{Options: Options{
-		Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20,
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20), WithShards(8))
 	if s.NumShards() != 8 || s.Workers() != 8 {
 		t.Fatalf("defaults: shards=%d workers=%d, want 8/8", s.NumShards(), s.Workers())
 	}
 	// Workers above the shard count are useless; the pool is capped.
-	s = openSharded(t, 4, 99)
+	s = openShardedSmall(t, 4, 99)
 	if s.Workers() != 4 {
 		t.Fatalf("workers not capped at shards: %d", s.Workers())
 	}
-	// One shard must behave as the paper's single-instance baseline.
-	one := openSharded(t, 1, 1)
-	if err := one.Insert(^uint64(0), 9); err != nil {
+	// WithShards(1) opens a plain CLAM, the paper's single-instance design.
+	one, err := Open(WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20), WithShards(1))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := one.Lookup(^uint64(0)); !ok || v != 9 {
+	if _, isCLAM := one.(*CLAM); !isCLAM {
+		t.Fatalf("WithShards(1) opened %T, want *CLAM", one)
+	}
+	if err := one.PutU64(^uint64(0), 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := one.GetU64(^uint64(0)); !ok || v != 9 {
 		t.Fatalf("1-shard lookup: %d %v", v, ok)
 	}
 }
 
 func TestShardedRoutesByHighKeyBits(t *testing.T) {
-	s := openSharded(t, 8, 8)
+	s := openShardedSmall(t, 8, 8)
 	for i := uint64(0); i < 8; i++ {
-		if err := s.Insert(i<<61|12345, i); err != nil {
+		if err := s.PutU64(i<<61|12345, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +83,7 @@ func TestShardedRoutesByHighKeyBits(t *testing.T) {
 // device models, clocks, histograms — leaks across shard boundaries.
 func TestShardedConcurrentShardIsolation(t *testing.T) {
 	const perG = 3000
-	s := openSharded(t, 8, 8)
+	s := openShardedSmall(t, 8, 8)
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
 	for g := 0; g < 8; g++ {
@@ -97,16 +93,16 @@ func TestShardedConcurrentShardIsolation(t *testing.T) {
 			base := g << 61 // top 3 bits route to shard g
 			for i := uint64(0); i < perG; i++ {
 				k := base | (i + 1)
-				if err := s.Insert(k, i); err != nil {
+				if err := s.PutU64(k, i); err != nil {
 					errs <- err
 					return
 				}
-				if v, ok, err := s.Lookup(k); err != nil || !ok || v != i {
+				if v, ok, err := s.GetU64(k); err != nil || !ok || v != i {
 					errs <- err
 					return
 				}
 				if i%5 == 0 {
-					if err := s.Delete(k); err != nil {
+					if err := s.DeleteU64(k); err != nil {
 						errs <- err
 						return
 					}
@@ -131,7 +127,7 @@ func TestShardedConcurrentShardIsolation(t *testing.T) {
 	}
 	for g := uint64(0); g < 8; g++ {
 		k := g<<61 | perG // not a multiple of 5 +1, survives deletion
-		if v, ok, _ := s.Lookup(k); !ok || v != perG-1 {
+		if v, ok, _ := s.GetU64(k); !ok || v != perG-1 {
 			t.Fatalf("shard %d lost key %#x: (%d, %v)", g, k, v, ok)
 		}
 	}
@@ -141,7 +137,7 @@ func TestShardedConcurrentShardIsolation(t *testing.T) {
 // concurrent Stats, Flush and Now calls: the aggregation path must take
 // every shard lock correctly or -race flags it.
 func TestShardedConcurrentOpsAndStats(t *testing.T) {
-	s := openSharded(t, 4, 4)
+	s := openShardedSmall(t, 4, 4)
 	var ops sync.WaitGroup
 	done := make(chan struct{})
 	go func() {
@@ -167,11 +163,11 @@ func TestShardedConcurrentOpsAndStats(t *testing.T) {
 				k := rng.Uint64()
 				switch i % 4 {
 				case 0, 1:
-					s.Insert(k, uint64(i))
+					s.PutU64(k, uint64(i))
 				case 2:
-					s.Lookup(k)
+					s.GetU64(k)
 				case 3:
-					s.Delete(k)
+					s.DeleteU64(k)
 				}
 			}
 		}(int64(g))
@@ -207,8 +203,8 @@ func TestCLAMConcurrentOpsAndStats(t *testing.T) {
 			rng := rand.New(rand.NewSource(g))
 			for i := 0; i < 3000; i++ {
 				k := rng.Uint64()
-				c.Insert(k, uint64(i))
-				c.Lookup(k)
+				c.PutU64(k, uint64(i))
+				c.GetU64(k)
 			}
 		}(int64(g))
 	}
@@ -220,8 +216,8 @@ func TestCLAMConcurrentOpsAndStats(t *testing.T) {
 }
 
 func TestShardedBatchMatchesSingleOps(t *testing.T) {
-	batched := openSharded(t, 4, 4)
-	single := openSharded(t, 4, 1)
+	batched := openShardedSmall(t, 4, 4)
+	single := openShardedSmall(t, 4, 1)
 
 	rng := rand.New(rand.NewSource(99))
 	const n = 20000
@@ -231,11 +227,11 @@ func TestShardedBatchMatchesSingleOps(t *testing.T) {
 		keys[i] = rng.Uint64()
 		vals[i] = rng.Uint64()
 	}
-	if err := batched.InsertBatch(keys, vals); err != nil {
+	if err := batched.PutBatchU64(context.Background(), keys, vals); err != nil {
 		t.Fatal(err)
 	}
 	for i := range keys {
-		if err := single.Insert(keys[i], vals[i]); err != nil {
+		if err := single.PutU64(keys[i], vals[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -248,12 +244,12 @@ func TestShardedBatchMatchesSingleOps(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		probe = append(probe, rng.Uint64())
 	}
-	bv, bok, err := batched.LookupBatch(probe)
+	bv, bok, err := batched.GetBatchU64(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, k := range probe {
-		sv, sok, err := single.Lookup(k)
+		sv, sok, err := single.GetU64(k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,10 +260,10 @@ func TestShardedBatchMatchesSingleOps(t *testing.T) {
 
 	// Deletes via batch must be equivalent too.
 	del := keys[:500]
-	if err := batched.DeleteBatch(del); err != nil {
+	if err := batched.DeleteBatchU64(context.Background(), del); err != nil {
 		t.Fatal(err)
 	}
-	dv, dok, err := batched.LookupBatch(del)
+	dv, dok, err := batched.GetBatchU64(context.Background(), del)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,21 +275,21 @@ func TestShardedBatchMatchesSingleOps(t *testing.T) {
 }
 
 func TestShardedBatchPreservesPerShardOrder(t *testing.T) {
-	s := openSharded(t, 4, 4)
+	s := openShardedSmall(t, 4, 4)
 	// Three writes to the same key inside one batch: the last one wins,
 	// because a shard group executes in input order on a single worker.
 	k := uint64(0xdeadbeef) << 32
-	if err := s.InsertBatch([]uint64{k, k, k}, []uint64{1, 2, 3}); err != nil {
+	if err := s.PutBatchU64(context.Background(), []uint64{k, k, k}, []uint64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := s.Lookup(k); !ok || v != 3 {
+	if v, ok, _ := s.GetU64(k); !ok || v != 3 {
 		t.Fatalf("lookup after dup-key batch: (%d, %v), want (3, true)", v, ok)
 	}
 }
 
 func TestShardedBatchLengthMismatch(t *testing.T) {
-	s := openSharded(t, 2, 2)
-	if err := s.InsertBatch(make([]uint64, 3), make([]uint64, 2)); err == nil {
+	s := openShardedSmall(t, 2, 2)
+	if err := s.PutBatchU64(context.Background(), make([]uint64, 3), make([]uint64, 2)); err == nil {
 		t.Fatal("InsertBatch accepted mismatched lengths")
 	}
 }
@@ -302,7 +298,7 @@ func TestShardedBatchLengthMismatch(t *testing.T) {
 // goroutines; the worker pools of concurrent batches contend on the same
 // shard locks, which -race verifies is safe.
 func TestShardedConcurrentBatches(t *testing.T) {
-	s := openSharded(t, 8, 4)
+	s := openShardedSmall(t, 8, 4)
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)
@@ -316,11 +312,11 @@ func TestShardedConcurrentBatches(t *testing.T) {
 					keys[i] = rng.Uint64()
 					vals[i] = rng.Uint64()
 				}
-				if err := s.InsertBatch(keys, vals); err != nil {
+				if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, _, err := s.LookupBatch(keys); err != nil {
+				if _, _, err := s.GetBatchU64(context.Background(), keys); err != nil {
 					t.Error(err)
 					return
 				}
@@ -334,14 +330,14 @@ func TestShardedConcurrentBatches(t *testing.T) {
 }
 
 func TestShardedFlushQuiesces(t *testing.T) {
-	s := openSharded(t, 4, 4)
+	s := openShardedSmall(t, 4, 4)
 	rng := rand.New(rand.NewSource(5))
 	keys := make([]uint64, 10000)
 	vals := make([]uint64, len(keys))
 	for i := range keys {
 		keys[i], vals[i] = rng.Uint64(), uint64(i)
 	}
-	if err := s.InsertBatch(keys, vals); err != nil {
+	if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Flush(); err != nil {
@@ -350,7 +346,7 @@ func TestShardedFlushQuiesces(t *testing.T) {
 	if st := s.Stats(); st.Device.Writes == 0 {
 		t.Fatal("flush wrote nothing to any shard device")
 	}
-	vs, ok, err := s.LookupBatch(keys)
+	vs, ok, err := s.GetBatchU64(context.Background(), keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,10 +358,10 @@ func TestShardedFlushQuiesces(t *testing.T) {
 }
 
 func TestShardedPerShardVirtualClocks(t *testing.T) {
-	s := openSharded(t, 4, 4)
+	s := openShardedSmall(t, 4, 4)
 	// Work lands only on shard 0; its clock must advance while others idle.
 	for i := uint64(1); i <= 5000; i++ {
-		if err := s.Insert(i, i); err != nil { // small keys: high bits zero
+		if err := s.PutU64(i, i); err != nil { // small keys: high bits zero
 			t.Fatal(err)
 		}
 	}
@@ -388,36 +384,29 @@ func TestShardedPerShardVirtualClocks(t *testing.T) {
 // and checks batch results against per-key ops, so the router's
 // claim/re-enqueue cycle is exercised thousands of times under -race.
 func TestRouterTinyChunksEquivalence(t *testing.T) {
-	s, err := OpenSharded(ShardedOptions{
-		Options:    Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Seed: 7},
-		Shards:     8,
-		Workers:    4,
-		BatchChunk: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref := openSharded(t, 8, 1)
+	s := openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20),
+		WithSeed(7), WithShards(8), WithWorkers(4), WithBatchChunk(1))
+	ref := openShardedSmall(t, 8, 1)
 	rng := rand.New(rand.NewSource(44))
 	keys := make([]uint64, 4000)
 	vals := make([]uint64, len(keys))
 	for i := range keys {
 		keys[i], vals[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := s.InsertBatch(keys, vals); err != nil {
+	if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 		t.Fatal(err)
 	}
 	for i := range keys {
-		if err := ref.Insert(keys[i], vals[i]); err != nil {
+		if err := ref.PutU64(keys[i], vals[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	v, ok, err := s.LookupBatch(keys)
+	v, ok, err := s.GetBatchU64(context.Background(), keys)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, k := range keys {
-		rv, rok, _ := ref.Lookup(k)
+		rv, rok, _ := ref.GetU64(k)
 		if v[i] != rv || ok[i] != rok {
 			t.Fatalf("key %#x: (%d,%v) vs ref (%d,%v)", k, v[i], ok[i], rv, rok)
 		}
@@ -428,7 +417,7 @@ func TestRouterTinyChunksEquivalence(t *testing.T) {
 // that starved the old one-task-per-shard dispatch — and checks results and
 // ordering stay correct.
 func TestRouterSkewedBatch(t *testing.T) {
-	s := openSharded(t, 8, 8)
+	s := openShardedSmall(t, 8, 8)
 	rng := rand.New(rand.NewSource(45))
 	const n = 30000
 	keys := make([]uint64, n)
@@ -441,10 +430,10 @@ func TestRouterSkewedBatch(t *testing.T) {
 		}
 		vals[i] = uint64(i)
 	}
-	if err := s.InsertBatch(keys, vals); err != nil {
+	if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := s.LookupBatch(keys)
+	v, ok, err := s.GetBatchU64(context.Background(), keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,14 +453,14 @@ func TestRouterSkewedBatch(t *testing.T) {
 // the retained PR-1 per-key dispatch on the same instance (FIFO policy:
 // lookups don't mutate state, so both paths may run back to back).
 func TestLookupBatchMatchesPerKeyPath(t *testing.T) {
-	s := openSharded(t, 8, 4)
+	s := openShardedSmall(t, 8, 4)
 	rng := rand.New(rand.NewSource(46))
 	keys := make([]uint64, 20000)
 	vals := make([]uint64, len(keys))
 	for i := range keys {
 		keys[i], vals[i] = rng.Uint64(), rng.Uint64()
 	}
-	if err := s.InsertBatch(keys, vals); err != nil {
+	if err := s.PutBatchU64(context.Background(), keys, vals); err != nil {
 		t.Fatal(err)
 	}
 	probe := make([]uint64, 5000)
@@ -482,11 +471,11 @@ func TestLookupBatchMatchesPerKeyPath(t *testing.T) {
 			probe[i] = keys[rng.Intn(len(keys))]
 		}
 	}
-	lv, lok, err := s.lookupBatchPerKey(probe)
+	lv, lok, err := s.getBatchU64PerKey(probe)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bv, bok, err := s.LookupBatch(probe)
+	bv, bok, err := s.GetBatchU64(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,15 +487,12 @@ func TestLookupBatchMatchesPerKeyPath(t *testing.T) {
 }
 
 func TestOpenShardedBatchChunkValidation(t *testing.T) {
-	base := Options{Device: IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20}
-	if _, err := OpenSharded(ShardedOptions{Options: base, Shards: 4, BatchChunk: -1}); err == nil {
-		t.Fatal("negative BatchChunk accepted")
+	if _, err := Open(WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20),
+		WithShards(4), WithBatchChunk(-1)); err == nil {
+		t.Fatal("negative WithBatchChunk accepted")
 	}
-	s, err := OpenSharded(ShardedOptions{Options: base, Shards: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if s.chunk != 512 {
-		t.Fatalf("default chunk = %d, want 512", s.chunk)
+	s := openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20), WithShards(4))
+	if s.chunk != defaultBatchChunk {
+		t.Fatalf("default chunk = %d, want %d", s.chunk, defaultBatchChunk)
 	}
 }

@@ -1,0 +1,252 @@
+package clam
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ssd"
+	"repro/internal/vclock"
+)
+
+// TestUpdateAliasSemantics pins the documented Update contract on both
+// implementations and both key families: Update is Put (lazy update,
+// §5.1.1) — updating an absent key inserts it, updating a present key
+// shadows the old version, and the structural counters are identical to
+// Put's (there is no hidden read-modify-write).
+func TestUpdateAliasSemantics(t *testing.T) {
+	c, s := strictStores(t, FIFO)
+	for _, st := range []struct {
+		name string
+		s    Store
+	}{{"clam", c}, {"sharded", s}} {
+		// Absent key: Update inserts.
+		if err := st.s.Update([]byte("ghost"), []byte("v1")); err != nil {
+			t.Fatalf("%s: update of absent key: %v", st.name, err)
+		}
+		if v, ok, _ := st.s.Get([]byte("ghost")); !ok || !bytes.Equal(v, []byte("v1")) {
+			t.Fatalf("%s: update-as-insert invisible: (%q, %v)", st.name, v, ok)
+		}
+		// Present key: newest version shadows.
+		if err := st.s.Update([]byte("ghost"), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		if v, _, _ := st.s.Get([]byte("ghost")); !bytes.Equal(v, []byte("v2")) {
+			t.Fatalf("%s: update not visible: %q", st.name, v)
+		}
+		// Same contract on the U64 fast path.
+		if err := st.s.UpdateU64(404, 1); err != nil {
+			t.Fatalf("%s: UpdateU64 of absent key: %v", st.name, err)
+		}
+		st.s.UpdateU64(404, 2)
+		if v, ok, _ := st.s.GetU64(404); !ok || v != 2 {
+			t.Fatalf("%s: UpdateU64: (%d, %v)", st.name, v, ok)
+		}
+		// No read-modify-write: an update is exactly one core insert.
+		before := st.s.Stats().Core
+		st.s.Update([]byte("ghost"), []byte("v3"))
+		st.s.UpdateU64(404, 3)
+		after := st.s.Stats().Core
+		if after.Inserts != before.Inserts+2 || after.Lookups != before.Lookups {
+			t.Fatalf("%s: update performed hidden work: %+v -> %+v", st.name, before, after)
+		}
+	}
+}
+
+// countingCtx is a context whose Err starts returning Canceled after the
+// Nth check — a deterministic way to cancel "mid-batch" exactly at a
+// router chunk boundary.
+type countingCtx struct {
+	context.Context
+	checks atomic.Int64
+	after  int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.checks.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBatchCancellation proves a canceled batch returns early: with an
+// already-canceled context nothing is applied, and with a context canceled
+// after a few chunk-boundary checks only a prefix of the batch lands.
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const n = 8192
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	bkeys := make([][]byte, n)
+	bvals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+		vals[i] = uint64(i)
+		bkeys[i] = []byte{byte(i), byte(i >> 8), byte(i >> 16), 'k'}
+		bvals[i] = []byte{byte(i)}
+	}
+
+	c, s := strictStores(t, FIFO)
+	for _, st := range []struct {
+		name string
+		s    Store
+	}{{"clam", c}, {"sharded", s}} {
+		if err := st.s.PutBatchU64(ctx, keys, vals); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled PutBatchU64 returned %v", st.name, err)
+		}
+		if err := st.s.PutBatch(ctx, bkeys, bvals); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled PutBatch returned %v", st.name, err)
+		}
+		if _, _, err := st.s.GetBatchU64(ctx, keys); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled GetBatchU64 returned %v", st.name, err)
+		}
+		if _, _, err := st.s.GetBatch(ctx, bkeys); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled GetBatch returned %v", st.name, err)
+		}
+		if err := st.s.DeleteBatchU64(ctx, keys); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled DeleteBatchU64 returned %v", st.name, err)
+		}
+		if err := st.s.DeleteBatch(ctx, bkeys); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: canceled DeleteBatch returned %v", st.name, err)
+		}
+		if got := st.s.Stats().Core.Inserts; got != 0 {
+			t.Fatalf("%s: pre-canceled batches applied %d inserts", st.name, got)
+		}
+	}
+
+	// Mid-batch cancellation at a chunk boundary: with chunk size 64 and a
+	// single worker, the batch must stop after exactly `after` chunks.
+	s2 := openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20),
+		WithShards(4), WithWorkers(1), WithBatchChunk(64))
+	cctx := &countingCtx{Context: context.Background(), after: 3}
+	err := s2.PutBatchU64(cctx, keys, vals)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch cancellation returned %v", err)
+	}
+	applied := s2.Stats().Core.Inserts
+	if applied != 3*64 {
+		t.Fatalf("canceled batch applied %d inserts, want exactly %d (3 chunks of 64)", applied, 3*64)
+	}
+}
+
+// TestCustomDeviceByteAPIRequiresValueLog pins ErrNoValueLog: a store over
+// a custom index device has no value log unless one is supplied, and the
+// U64 path keeps working either way.
+func TestCustomDeviceByteAPIRequiresValueLog(t *testing.T) {
+	clock := vclock.New()
+	dev := ssd.New(ssd.IntelX18M(), 16<<20, clock)
+	st, err := Open(WithCustomDevice(dev), WithClock(clock), WithFlash(16<<20), WithMemory(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutU64(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrNoValueLog) {
+		t.Fatalf("Put without value log returned %v", err)
+	}
+	if _, _, err := st.Get([]byte("k")); !errors.Is(err, ErrNoValueLog) {
+		t.Fatalf("Get without value log returned %v", err)
+	}
+	if _, _, err := st.GetBatch(context.Background(), [][]byte{[]byte("k")}); !errors.Is(err, ErrNoValueLog) {
+		t.Fatalf("GetBatch without value log returned %v", err)
+	}
+
+	// Supplying a value-log device enables the byte API.
+	clock2 := vclock.New()
+	st2, err := Open(
+		WithCustomDevice(ssd.New(ssd.IntelX18M(), 16<<20, clock2)),
+		WithValueLogDevice(ssd.New(ssd.IntelX18M(), 16<<20, clock2)),
+		WithClock(clock2), WithFlash(16<<20), WithMemory(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := st2.Get([]byte("k")); err != nil || !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("custom value log get: %q %v %v", v, ok, err)
+	}
+}
+
+// TestValueLogDeviceRequiresCustomDevice pins the Open validation: a
+// caller-supplied value-log device is meaningful only next to a custom
+// index device — silently building a kind device instead would discard
+// the caller's fault-injection or counting wrapper.
+func TestValueLogDeviceRequiresCustomDevice(t *testing.T) {
+	clock := vclock.New()
+	vdev := ssd.New(ssd.IntelX18M(), 16<<20, clock)
+	if _, err := Open(WithDevice(IntelSSD), WithFlash(16<<20), WithMemory(4<<20),
+		WithClock(clock), WithValueLogDevice(vdev)); err == nil {
+		t.Fatal("Open accepted WithValueLogDevice without WithCustomDevice")
+	}
+}
+
+// TestShardHandleByteOpsConsistent pins the Shard(i) contract for the
+// byte family: the live shard handle fingerprints keys with the
+// deployment seed, so keys stored through the parent resolve through the
+// owning shard's handle and vice versa.
+func TestShardHandleByteOpsConsistent(t *testing.T) {
+	s := openShardedT(t, WithDevice(IntelSSD), WithFlash(32<<20), WithMemory(8<<20),
+		WithSeed(7), WithShards(4))
+	for i := 0; i < 64; i++ {
+		key := []byte{byte(i), 's', 'h'}
+		val := []byte{byte(i), byte(i + 1)}
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		sh := s.shardIndex(fingerprint(key, s.fpSeed))
+		v, ok, err := s.Shard(sh).Get(key)
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("Shard(%d).Get(%q) = (%q, %v, %v) after parent Put", sh, key, v, ok, err)
+		}
+		// And the reverse: a Put through the owning shard's handle is
+		// visible through the parent.
+		val2 := append(val, 0xFF)
+		if err := s.Shard(sh).Put(key, val2); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok, _ := s.Get(key); !ok || !bytes.Equal(v, val2) {
+			t.Fatalf("parent Get(%q) = (%q, %v) after shard-handle Put", key, v, ok)
+		}
+	}
+}
+
+// TestU64AndByteFamiliesCoexist stores through both key families and
+// checks neither corrupts the other: byte reads are key-verified, so even
+// a U64 entry colliding with a byte fingerprint reads as a miss.
+func TestU64AndByteFamiliesCoexist(t *testing.T) {
+	c, s := strictStores(t, FIFO)
+	for _, st := range []struct {
+		name string
+		s    Store
+	}{{"clam", c}, {"sharded", s}} {
+		for i := uint64(0); i < 2000; i++ {
+			if err := st.s.PutU64(i*0x9e3779b97f4a7c15+1, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			k := []byte{byte(i), byte(i >> 8), 'b'}
+			if err := st.s.Put(k, bytes.Repeat([]byte{byte(i)}, i%50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := uint64(0); i < 2000; i++ {
+			if v, ok, _ := st.s.GetU64(i*0x9e3779b97f4a7c15 + 1); !ok || v != i {
+				t.Fatalf("%s: u64 key %d: (%d, %v)", st.name, i, v, ok)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			k := []byte{byte(i), byte(i >> 8), 'b'}
+			v, ok, _ := st.s.Get(k)
+			if !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, i%50)) {
+				t.Fatalf("%s: byte key %d: (%d bytes, %v)", st.name, i, len(v), ok)
+			}
+		}
+	}
+}

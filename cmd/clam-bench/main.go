@@ -8,14 +8,20 @@
 // throughput next to the merged virtual-time latency distributions.
 //
 // With -batch > 0 the measured phase issues lookups through the batched
-// pipeline (LookupBatch) in batches of that size instead of per-key calls;
-// -zipf replaces the uniform key draw with a Zipf(s) popularity
-// distribution (hot keys concentrate on few shards, exercising the batch
-// router's stealing). With -json FILE the tool instead runs a head-to-head
-// lookup comparison — per-key loop vs batched pipeline over the identical
-// key stream — and writes the throughput and virtual p50/p99 latency of
-// both sides as JSON (the perf-trajectory artifact; CI emits
-// BENCH_pr2.json this way).
+// pipeline (GetBatchU64 / GetBatch) in batches of that size instead of
+// per-key calls; -zipf replaces the uniform key draw with a Zipf(s)
+// popularity distribution (hot keys concentrate on few shards, exercising
+// the batch router's stealing). With -valsize > 0 the workload runs on the
+// byte-keyed API instead of the uint64 fast path: keys are 20-byte
+// fingerprints and every key maps to a -valsize-byte value living in the
+// page-aligned value log, so lookups pay an index probe plus a (batched:
+// overlapped) value-log record read.
+//
+// With -json FILE the tool instead runs a head-to-head lookup comparison —
+// per-key loop vs batched pipeline over the identical key stream — and
+// writes the throughput and virtual p50/p99 latency of both sides as JSON
+// (the perf-trajectory artifact; CI emits BENCH_pr2.json from the u64
+// workload and BENCH_pr3.json from the -valsize value-log workload).
 //
 // Examples:
 //
@@ -24,9 +30,13 @@
 //	clam-bench -shards 8 -workers 8 -flash 64 -mem 12 -ops 400000
 //	clam-bench -shards 8 -workers 8 -batch 4096 -zipf 1.2 \
 //	           -ops 100000 -json BENCH_pr2.json
+//	clam-bench -shards 8 -workers 8 -batch 4096 -valsize 256 \
+//	           -ops 60000 -json BENCH_pr3.json
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,15 +52,6 @@ import (
 	"repro/internal/workload"
 )
 
-// table is the operation surface shared by clam.CLAM and clam.Sharded.
-type table interface {
-	Insert(key, value uint64) error
-	Lookup(key uint64) (uint64, bool, error)
-	LookupBatch(keys []uint64) ([]uint64, []bool, error)
-	ResetMetrics()
-	Stats() clam.Stats
-}
-
 // phaseResult is one side of the -json serial-vs-batched comparison.
 type phaseResult struct {
 	Mode        string  `json:"mode"`
@@ -62,7 +63,7 @@ type phaseResult struct {
 	VirtualP99  float64 `json:"virtual_p99_ms"`
 }
 
-// benchReport is the -json artifact (BENCH_pr2.json in CI).
+// benchReport is the -json artifact (BENCH_pr2.json / BENCH_pr3.json in CI).
 type benchReport struct {
 	Device      string      `json:"device"`
 	FlashMB     int64       `json:"flash_mb"`
@@ -71,10 +72,30 @@ type benchReport struct {
 	Workers     int         `json:"workers"`
 	Batch       int         `json:"batch"`
 	Zipf        float64     `json:"zipf"`
+	ValSize     int         `json:"valsize"`
 	GOMAXPROCS  int         `json:"gomaxprocs"`
 	Serial      phaseResult `json:"serial"`
 	Batched     phaseResult `json:"batched"`
 	SpeedupWall float64     `json:"speedup_wall"`
+}
+
+// byteKey expands a 64-bit draw into the 20-byte fingerprint the byte
+// workload keys on (deterministic, collision-free per draw).
+func byteKey(k uint64) []byte {
+	fp := make([]byte, 20)
+	binary.LittleEndian.PutUint64(fp[0:8], k)
+	binary.LittleEndian.PutUint64(fp[8:16], hashutil.Mix64(k))
+	binary.LittleEndian.PutUint32(fp[16:20], uint32(hashutil.Mix64(k^0xbeef)))
+	return fp
+}
+
+// byteVal builds the valsize-byte value stored under a key.
+func byteVal(k uint64, n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(k >> (uint(i) % 8 * 8))
+	}
+	return v
 }
 
 func main() {
@@ -90,6 +111,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent driver goroutines for the sharded measured phase (default: shards)")
 	batch := flag.Int("batch", 0, "lookup batch size for the batched pipeline (0 = per-key lookups)")
 	zipfS := flag.Float64("zipf", 0, "Zipf exponent for skewed keys (0 = uniform; try 1.2)")
+	valsize := flag.Int("valsize", 0, "byte-API value size (0 = uint64 fast path)")
 	jsonPath := flag.String("json", "", "run a serial-vs-batched lookup comparison and write JSON here")
 	flag.Parse()
 
@@ -120,70 +142,81 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := clam.Options{
-		Device:      kind,
-		FlashBytes:  *flashMB << 20,
-		MemoryBytes: *memMB << 20,
-		Policy:      policy,
-		Seed:        uint64(*seed),
+	opts := []clam.Option{
+		clam.WithDevice(kind),
+		clam.WithFlash(*flashMB << 20),
+		clam.WithMemory(*memMB << 20),
+		clam.WithPolicy(policy),
+		clam.WithSeed(uint64(*seed)),
 	}
-	var (
-		t        table
-		sharded  *clam.Sharded
-		nWorkers = 1
-	)
+	nWorkers := 1
 	if *shards > 1 {
-		s, err := clam.OpenSharded(clam.ShardedOptions{Options: opts, Shards: *shards, Workers: *workers})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		opts = append(opts, clam.WithShards(*shards))
+		if *workers > 0 {
+			opts = append(opts, clam.WithWorkers(*workers))
 		}
-		t, sharded = s, s
-		nWorkers = s.Workers()
-	} else {
-		c, err := clam.Open(opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		t = c
+	}
+	st, err := clam.Open(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sharded, _ := st.(*clam.Sharded)
+	if sharded != nil {
+		nWorkers = sharded.Workers()
 	}
 
+	ctx := context.Background()
 	flashEntries := uint64(*flashMB) << 20 / 32
 	keyRange := workload.RangeForLSR(flashEntries, *lsr)
 	// The workload draws small integers; hashutil.Mix64 (a 64-bit
 	// bijection) turns them into uniform fingerprints, as sharding (and
 	// the paper's workloads) assume. The mapping preserves the LSR
-	// exactly.
+	// exactly. The byte workload expands the same draws to 20-byte keys.
 	warm := int(flashEntries * 5 / 4)
-	fmt.Printf("device=%s flash=%dMB mem=%dMB policy=%s shards=%d workers=%d | warm-up: %d inserts\n",
-		kind, *flashMB, *memMB, policy, max(*shards, 1), nWorkers, warm)
+	if *valsize > 0 {
+		// The byte workload also fills the value log; keep the warm set at
+		// the index capacity (the log wraps FIFO on its own schedule).
+		warm = int(flashEntries)
+	}
+	fmt.Printf("device=%s flash=%dMB mem=%dMB policy=%s shards=%d workers=%d valsize=%d | warm-up: %d inserts\n",
+		kind, *flashMB, *memMB, policy, max(*shards, 1), nWorkers, *valsize, warm)
 	rng := rand.New(rand.NewSource(*seed))
-	if sharded != nil {
-		// Warm up through the batch API in flush-friendly chunks.
+	// Warm up through the batch APIs in flush-friendly chunks.
+	{
 		const chunk = 8192
-		keys := make([]uint64, 0, chunk)
-		vals := make([]uint64, 0, chunk)
-		for i := 0; i < warm; i++ {
-			keys = append(keys, hashutil.Mix64(uint64(rng.Int63n(int64(keyRange)))+1))
-			vals = append(vals, uint64(i))
-			if len(keys) == chunk || i == warm-1 {
-				if err := sharded.InsertBatch(keys, vals); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+		if *valsize > 0 {
+			keys := make([][]byte, 0, chunk)
+			vals := make([][]byte, 0, chunk)
+			for i := 0; i < warm; i++ {
+				k := hashutil.Mix64(uint64(rng.Int63n(int64(keyRange))) + 1)
+				keys = append(keys, byteKey(k))
+				vals = append(vals, byteVal(k, *valsize))
+				if len(keys) == chunk || i == warm-1 {
+					if err := st.PutBatch(ctx, keys, vals); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					keys, vals = keys[:0], vals[:0]
 				}
-				keys, vals = keys[:0], vals[:0]
 			}
-		}
-	} else {
-		for i := 0; i < warm; i++ {
-			if err := t.Insert(hashutil.Mix64(uint64(rng.Int63n(int64(keyRange)))+1), uint64(i)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		} else {
+			keys := make([]uint64, 0, chunk)
+			vals := make([]uint64, 0, chunk)
+			for i := 0; i < warm; i++ {
+				keys = append(keys, hashutil.Mix64(uint64(rng.Int63n(int64(keyRange)))+1))
+				vals = append(vals, uint64(i))
+				if len(keys) == chunk || i == warm-1 {
+					if err := st.PutBatchU64(ctx, keys, vals); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					keys, vals = keys[:0], vals[:0]
+				}
 			}
 		}
 	}
-	t.ResetMetrics()
+	st.ResetMetrics()
 	// Shard clocks are monotonic and not reset; remember the post-warm-up
 	// readings so the reported makespan covers only the measured phase.
 	var warmClocks []time.Duration
@@ -216,9 +249,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-json requires a policy whose lookups don't mutate state (fifo or update)")
 			os.Exit(2)
 		}
-		runComparison(t, *jsonPath, benchReport{
+		runComparison(st, *jsonPath, benchReport{
 			Device: kind.String(), FlashMB: *flashMB, MemMB: *memMB,
 			Shards: max(*shards, 1), Workers: nWorkers, Batch: *batch, Zipf: *zipfS,
+			ValSize: *valsize,
 		}, *ops, nWorkers, newDraw)
 		return
 	}
@@ -237,24 +271,47 @@ func main() {
 			defer wg.Done()
 			draw := newDraw(int64(w))
 			rng := rand.New(rand.NewSource(^(*seed) + int64(w)))
-			var pending []uint64
+			var pendU []uint64
+			var pendB [][]byte
 			if *batch > 0 {
-				pending = make([]uint64, 0, *batch)
+				pendU = make([]uint64, 0, *batch)
+				pendB = make([][]byte, 0, *batch)
 			}
 			flush := func() error {
-				if len(pending) == 0 {
-					return nil
+				var err error
+				if len(pendU) > 0 {
+					_, _, err = st.GetBatchU64(ctx, pendU)
+					pendU = pendU[:0]
+				} else if len(pendB) > 0 {
+					_, _, err = st.GetBatch(ctx, pendB)
+					pendB = pendB[:0]
 				}
-				_, _, err := t.LookupBatch(pending)
-				pending = pending[:0]
 				return err
+			}
+			lookupOne := func(k uint64) error {
+				if *valsize > 0 {
+					_, _, err := st.Get(byteKey(k))
+					return err
+				}
+				_, _, err := st.GetU64(k)
+				return err
+			}
+			insertOne := func(k uint64, i int) error {
+				if *valsize > 0 {
+					return st.Put(byteKey(k), byteVal(k, *valsize))
+				}
+				return st.PutU64(k, uint64(i))
 			}
 			for i := 0; i < perWorker; i++ {
 				k := draw()
 				if rng.Float64() < *lookups {
 					if *batch > 0 {
-						pending = append(pending, k)
-						if len(pending) == *batch {
+						if *valsize > 0 {
+							pendB = append(pendB, byteKey(k))
+						} else {
+							pendU = append(pendU, k)
+						}
+						if len(pendU) == *batch || len(pendB) == *batch {
 							if err := flush(); err != nil {
 								errCh <- err
 								return
@@ -262,7 +319,7 @@ func main() {
 						}
 						continue
 					}
-					if _, _, err := t.Lookup(k); err != nil {
+					if err := lookupOne(k); err != nil {
 						errCh <- err
 						return
 					}
@@ -271,7 +328,7 @@ func main() {
 						errCh <- err
 						return
 					}
-					if err := t.Insert(k, uint64(i)); err != nil {
+					if err := insertOne(k, i); err != nil {
 						errCh <- err
 						return
 					}
@@ -290,25 +347,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	st := t.Stats()
+	stats := st.Stats()
 	fmt.Printf("\nwall-clock: %d ops in %v (%.0f ops/s across %d workers)\n",
 		perWorker*nWorkers, elapsed.Round(time.Millisecond),
 		float64(perWorker*nWorkers)/elapsed.Seconds(), nWorkers)
-	fmt.Printf("inserts: %s\n", st.InsertLatency)
-	fmt.Printf("lookups: %s (hit rate %.2f)\n", st.LookupLatency, st.Core.HitRate())
+	fmt.Printf("inserts: %s\n", stats.InsertLatency)
+	fmt.Printf("lookups: %s (hit rate %.2f)\n", stats.LookupLatency, stats.Core.HitRate())
 	fmt.Printf("core: flushes=%d evictions=%d flash-probes=%d spurious=%d\n",
-		st.Core.Flushes, st.Core.Evictions, st.Core.FlashProbes, st.Core.SpuriousProbes)
+		stats.Core.Flushes, stats.Core.Evictions, stats.Core.FlashProbes, stats.Core.SpuriousProbes)
 	fmt.Printf("lookup flash-I/O histogram: ")
-	for i, c := range st.Core.LookupIOHist {
+	for i, c := range stats.Core.LookupIOHist {
 		if c > 0 {
 			fmt.Printf("[%d io: %d] ", i, c)
 		}
 	}
 	fmt.Println()
 	fmt.Printf("device: reads=%d writes=%d erases=%d moved=%d busy=%v\n",
-		st.Device.Reads, st.Device.Writes, st.Device.Erases, st.Device.PagesMoved, st.Device.BusyTime)
+		stats.Device.Reads, stats.Device.Writes, stats.Device.Erases, stats.Device.PagesMoved, stats.Device.BusyTime)
+	if *valsize > 0 {
+		fmt.Printf("value log: records=%d appended=%dKB wraps=%d | device reads=%d writes=%d busy=%v\n",
+			stats.ValueLog.Records, stats.ValueLog.AppendedBytes>>10, stats.ValueLog.Wraps,
+			stats.ValueDevice.Reads, stats.ValueDevice.Writes, stats.ValueDevice.BusyTime)
+	}
 	fmt.Printf("memory: buffers=%dKB bloom=%dKB total=%dKB\n",
-		st.Memory.BufferBytes>>10, st.Memory.BloomBytes>>10, st.Memory.Total()>>10)
+		stats.Memory.BufferBytes>>10, stats.Memory.BloomBytes>>10, stats.Memory.Total()>>10)
 	if sharded != nil {
 		fmt.Printf("shard balance (inserts+lookups per shard):")
 		for i := 0; i < sharded.NumShards(); i++ {
@@ -328,38 +390,48 @@ func main() {
 }
 
 // runComparison is the -json mode: the same lookup stream driven twice —
-// per-key Lookup calls across the worker goroutines, then the batched
-// pipeline — reporting wall throughput and virtual latency percentiles of
-// both, plus the wall speedup. Lookups don't mutate FIFO/update stores, so
-// both phases see an identical structure.
-func runComparison(t table, path string, rep benchReport, ops, nWorkers int, newDraw func(int64) func() uint64) {
-	probes := make([]uint64, ops)
+// per-key calls across the worker goroutines, then the batched pipeline —
+// reporting wall throughput and virtual latency percentiles of both, plus
+// the wall speedup. Lookups don't mutate FIFO/update stores, so both
+// phases see an identical structure. With a -valsize workload the batched
+// side additionally overlaps the value-log record reads (the second I/O
+// stream); the per-key side pays them serially.
+func runComparison(st clam.Store, path string, rep benchReport, ops, nWorkers int, newDraw func(int64) func() uint64) {
+	draws := make([]uint64, ops)
 	draw := newDraw(0)
-	for i := range probes {
-		probes[i] = draw()
+	for i := range draws {
+		draws[i] = draw()
+	}
+	var bprobes [][]byte
+	if rep.ValSize > 0 {
+		bprobes = make([][]byte, ops)
+		for i, k := range draws {
+			bprobes[i] = byteKey(k)
+		}
 	}
 	if rep.Batch <= 0 {
 		rep.Batch = 4096
 	}
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	ctx := context.Background()
 
 	measure := func(mode string, run func() error) phaseResult {
-		t.ResetMetrics()
+		st.ResetMetrics()
 		start := time.Now()
 		if err := run(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		wall := time.Since(start)
-		st := t.Stats()
+		s := st.Stats()
 		return phaseResult{
 			Mode:        mode,
 			Ops:         ops,
 			WallSeconds: wall.Seconds(),
 			OpsPerSec:   float64(ops) / wall.Seconds(),
-			HitRate:     st.Core.HitRate(),
-			VirtualP50:  metrics.Ms(st.LookupLatency.P50),
-			VirtualP99:  metrics.Ms(st.LookupLatency.P99),
+			HitRate:     s.Core.HitRate(),
+			VirtualP50:  metrics.Ms(s.LookupLatency.P50),
+			VirtualP99:  metrics.Ms(s.LookupLatency.P99),
 		}
 	}
 
@@ -374,15 +446,21 @@ func runComparison(t table, path string, rep benchReport, ops, nWorkers int, new
 				break
 			}
 			wg.Add(1)
-			go func(part []uint64) {
+			go func(lo, hi int) {
 				defer wg.Done()
-				for _, k := range part {
-					if _, _, err := t.Lookup(k); err != nil {
+				for i := lo; i < hi; i++ {
+					var err error
+					if rep.ValSize > 0 {
+						_, _, err = st.Get(bprobes[i])
+					} else {
+						_, _, err = st.GetU64(draws[i])
+					}
+					if err != nil {
 						errCh <- err
 						return
 					}
 				}
-			}(probes[lo:hi])
+			}(lo, hi)
 		}
 		wg.Wait()
 		close(errCh)
@@ -390,7 +468,14 @@ func runComparison(t table, path string, rep benchReport, ops, nWorkers int, new
 	})
 	rep.Batched = measure("batched", func() error {
 		for at := 0; at < ops; at += rep.Batch {
-			if _, _, err := t.LookupBatch(probes[at:min(at+rep.Batch, ops)]); err != nil {
+			hi := min(at+rep.Batch, ops)
+			var err error
+			if rep.ValSize > 0 {
+				_, _, err = st.GetBatch(ctx, bprobes[at:hi])
+			} else {
+				_, _, err = st.GetBatchU64(ctx, draws[at:hi])
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -412,5 +497,6 @@ func runComparison(t table, path string, rep benchReport, ops, nWorkers int, new
 		rep.Serial.OpsPerSec, rep.Serial.VirtualP50, rep.Serial.VirtualP99)
 	fmt.Printf("batched: %8.0f ops/s  p50 %.4f ms  p99 %.4f ms (virtual)\n",
 		rep.Batched.OpsPerSec, rep.Batched.VirtualP50, rep.Batched.VirtualP99)
-	fmt.Printf("wall speedup: %.2fx (gomaxprocs %d) -> %s\n", rep.SpeedupWall, rep.GOMAXPROCS, path)
+	fmt.Printf("wall speedup: %.2fx (gomaxprocs %d, valsize %d) -> %s\n",
+		rep.SpeedupWall, rep.GOMAXPROCS, rep.ValSize, path)
 }

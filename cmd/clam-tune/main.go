@@ -53,20 +53,20 @@ func main() {
 
 	// Show what the clam facade would derive for this budget (scaled down
 	// if the host cannot hold it; derivation is pure arithmetic).
-	opts := clam.Options{Device: clam.IntelSSD, FlashBytes: flash, MemoryBytes: mem}
+	showFlash, showMem := flash, mem
 	if flash > 1<<30 {
 		// Derivation only: use a scaled geometry with identical ratios.
 		scale := float64(1<<30) / float64(flash)
-		opts.FlashBytes = 1 << 30
-		opts.MemoryBytes = int64(float64(mem) * scale)
+		showFlash = 1 << 30
+		showMem = int64(float64(mem) * scale)
 		fmt.Printf("\n(derived geometry shown at 1 GB scale with identical ratios)\n")
 	}
-	c, err := clam.Open(opts)
+	st, err := clam.Open(clam.WithDevice(clam.IntelSSD), clam.WithFlash(showFlash), clam.WithMemory(showMem))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg := c.Core().Config()
+	cfg := st.(*clam.CLAM).Core().Config()
 	fmt.Printf("derived CLAM geometry: %d super tables × %d incarnations × %d KB buffers, %d Bloom bits/entry\n",
 		cfg.NumSuperTables(), cfg.NumIncarnations, cfg.BufferBytes>>10, cfg.FilterBitsPerEntry)
 }

@@ -37,12 +37,13 @@ func main() {
 	var idx wanopt.Index
 	switch *indexFlag {
 	case "clam":
-		c, err := clam.Open(clam.Options{
-			Device:      clam.TranscendSSD,
-			FlashBytes:  *flashMB << 20,
-			MemoryBytes: *flashMB << 20 / 8,
-			Clock:       clock,
-		})
+		// The byte-keyed Store serves full SHA-1 fingerprints directly;
+		// the value log holds the chunk cache references.
+		c, err := clam.Open(
+			clam.WithDevice(clam.TranscendSSD),
+			clam.WithFlash(*flashMB<<20),
+			clam.WithMemory(*flashMB<<20/8),
+			clam.WithClock(clock))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -59,7 +60,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		idx = h
+		idx = wanopt.Truncated{U64: h}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexFlag)
 		os.Exit(2)

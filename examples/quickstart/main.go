@@ -1,9 +1,13 @@
-// Quickstart: open a CLAM, insert fingerprint → address mappings, look
-// them up, update and delete — the basic CAM lifecycle from the paper's
-// abstract, in a dozen lines of API.
+// Quickstart: open a Store, map content fingerprints to variable-length
+// chunks, look them up, update and delete — the basic CAM lifecycle from
+// the paper's abstract on the redesigned byte-slice API, with the original
+// uint64 fast path alongside.
 package main
 
 import (
+	"bytes"
+	"crypto/sha1"
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,59 +16,83 @@ import (
 )
 
 func main() {
+	smoke := flag.Bool("smoke", false, "shrink the workload for CI smoke runs")
+	flag.Parse()
+	n := 200_000
+	if *smoke {
+		n = 20_000
+	}
+
 	// A 64 MB CLAM on a simulated Intel-class SSD with an 8 MB DRAM
-	// budget, split per the paper's §6.4 tuning rules.
-	c, err := clam.Open(clam.Options{
-		Device:      clam.IntelSSD,
-		FlashBytes:  64 << 20,
-		MemoryBytes: 8 << 20,
-	})
+	// budget (split per the paper's §6.4 tuning rules) and a 64 MB value
+	// log holding the byte values.
+	st, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(64<<20),
+		clam.WithMemory(8<<20),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Insert a million fingerprint → disk-address mappings. Most inserts
-	// land in DRAM buffers; full buffers flush to flash in 128 KB batches.
-	const n = 1_000_000
-	for fp := uint64(1); fp <= n; fp++ {
-		if err := c.Insert(fp, fp*4096); err != nil {
+	// Store n fingerprint → chunk-record mappings. Keys are real 20-byte
+	// SHA-1 fingerprints; values are variable-length records appended to
+	// the value log, while the index writes land in DRAM buffers that
+	// flush to flash in 128 KB batches.
+	fp := func(i int) []byte {
+		sum := sha1.Sum(fmt.Appendf(nil, "chunk-%d", i))
+		return sum[:]
+	}
+	record := func(i int) []byte {
+		return fmt.Appendf(nil, "container-%04d offset %010d length %d", i>>12, i<<9, 512+(i%3500))
+	}
+	for i := 0; i < n; i++ {
+		if err := st.Put(fp(i), record(i)); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// Look some up (recent keys are retained; the oldest were evicted by
-	// the FIFO incarnation ring once flash filled).
-	for _, fp := range []uint64{n, n - 1000, n / 2, 1} {
-		addr, ok, err := c.Lookup(fp)
+	// Look some up: every read is verified against the full key bytes
+	// stored in the record, so fingerprint collisions can never surface
+	// wrong values.
+	for _, i := range []int{n - 1, n / 2, 0} {
+		val, ok, err := st.Get(fp(i))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("fingerprint %8d -> address %10d (found=%v)\n", fp, addr, ok)
+		fmt.Printf("fingerprint %x... -> %-45q (found=%v)\n", fp(i)[:6], val, ok)
 	}
 
 	// Lazy update and delete (§5.1.1).
-	c.Update(n, 42)
-	if addr, _, _ := c.Lookup(n); addr != 42 {
+	st.Update(fp(7), []byte("moved to container-9999"))
+	if v, _, _ := st.Get(fp(7)); !bytes.Equal(v, []byte("moved to container-9999")) {
 		log.Fatal("update not visible")
 	}
-	c.Delete(n)
-	if _, ok, _ := c.Lookup(n); ok {
+	st.Delete(fp(7))
+	if _, ok, _ := st.Get(fp(7)); ok {
 		log.Fatal("delete not visible")
 	}
 
-	st := c.Stats()
-	fmt.Printf("\ninserts: mean %.4f ms (worst %.2f ms)\n",
-		metrics.Ms(st.InsertLatency.Mean), metrics.Ms(st.InsertLatency.Max))
-	fmt.Printf("lookups: mean %.4f ms\n", metrics.Ms(st.LookupLatency.Mean))
-	fmt.Printf("flushes: %d, device writes: %d (batched: %d inserts per flash write)\n",
-		st.Core.Flushes, st.Device.Writes, uint64(n)/maxU64(st.Device.Writes, 1))
-	fmt.Printf("DRAM: %d KB buffers + %d KB Bloom filters\n",
-		st.Memory.BufferBytes>>10, st.Memory.BloomBytes>>10)
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
+	// The uint64 fast path stores word-sized values inline in the hash
+	// entry — no value log, no fingerprinting step: the paper's original
+	// fingerprint → disk-address workload.
+	for i := uint64(1); i <= uint64(n); i++ {
+		if err := st.PutU64(i, i*4096); err != nil {
+			log.Fatal(err)
+		}
 	}
-	return b
+	if addr, ok, _ := st.GetU64(uint64(n)); ok {
+		fmt.Printf("fast path: fingerprint %d -> address %d\n", n, addr)
+	}
+
+	s := st.Stats()
+	fmt.Printf("\ninserts: mean %.4f ms (worst %.2f ms)\n",
+		metrics.Ms(s.InsertLatency.Mean), metrics.Ms(s.InsertLatency.Max))
+	fmt.Printf("lookups: mean %.4f ms\n", metrics.Ms(s.LookupLatency.Mean))
+	fmt.Printf("index: %d flushes, %d device writes (batched flash writes)\n",
+		s.Core.Flushes, s.Device.Writes)
+	fmt.Printf("value log: %d records, %d KB appended, %d device writes (page-aligned appends)\n",
+		s.ValueLog.Records, s.ValueLog.AppendedBytes>>10, s.ValueDevice.Writes)
+	fmt.Printf("DRAM: %d KB buffers + %d KB Bloom filters\n",
+		s.Memory.BufferBytes>>10, s.Memory.BloomBytes>>10)
 }

@@ -2,18 +2,22 @@
 // space across independent shards.
 //
 // The paper evaluates a single blocking-I/O CLAM; clam.Sharded is this
-// repository's scaling path. Each shard is a complete CLAM — its own
-// BufferHash, device model, virtual clock and histograms — and keys route
-// by their top bits, so shards never share mutable state. This program:
+// repository's scaling path, reached through the same Open call with
+// WithShards. Each shard is a complete CLAM — its own BufferHash, device
+// models, value log, virtual clock and histograms — and keys route by
+// their top bits, so shards never share mutable state. This program:
 //
-//  1. bulk-loads a million fingerprints through the batch API,
+//  1. bulk-loads a million fingerprints through the ctx-aware batch API,
 //  2. drives concurrent single-key lookups from 8 goroutines,
 //  3. prints the merged statistics and per-shard balance, and
 //  4. re-runs the same load on a 1-shard instance (the paper's design
-//     point) to show the wall-clock difference; the gap tracks GOMAXPROCS.
+//     point, a plain CLAM behind the same Store interface) to show the
+//     wall-clock difference; the gap tracks GOMAXPROCS.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,20 +29,17 @@ import (
 	"repro/internal/metrics"
 )
 
-const (
-	nKeys      = 1 << 20
-	goroutines = 8
-)
+const goroutines = 8
 
-func open(shards int) *clam.Sharded {
-	s, err := clam.OpenSharded(clam.ShardedOptions{
-		Options: clam.Options{
-			Device:      clam.IntelSSD,
-			FlashBytes:  256 << 20, // total, split evenly across shards
-			MemoryBytes: 64 << 20,
-		},
-		Shards: shards,
-	})
+var nKeys = 1 << 20
+
+func open(shards int) clam.Store {
+	s, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(256<<20), // total, split evenly across shards
+		clam.WithMemory(64<<20),
+		clam.WithShards(shards),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,8 +58,10 @@ func fingerprints(seed int64, n int) []uint64 {
 }
 
 // load bulk-inserts, then looks everything up from concurrent goroutines,
-// returning the wall-clock time spent.
-func load(s *clam.Sharded, keys []uint64) time.Duration {
+// returning the wall-clock time spent. It drives the Store interface, so
+// the 8-shard deployment and the single-CLAM baseline run the same code.
+func load(s clam.Store, keys []uint64) time.Duration {
+	ctx := context.Background()
 	start := time.Now()
 	const chunk = 16384
 	vals := make([]uint64, chunk)
@@ -67,7 +70,7 @@ func load(s *clam.Sharded, keys []uint64) time.Duration {
 		for i := range vals[:end-off] {
 			vals[i] = uint64(off + i)
 		}
-		if err := s.InsertBatch(keys[off:end], vals[:end-off]); err != nil {
+		if err := s.PutBatchU64(ctx, keys[off:end], vals[:end-off]); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -78,7 +81,7 @@ func load(s *clam.Sharded, keys []uint64) time.Duration {
 		go func(g int) {
 			defer wg.Done()
 			for _, k := range keys[g*per : (g+1)*per] {
-				if _, _, err := s.Lookup(k); err != nil {
+				if _, _, err := s.GetU64(k); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -89,9 +92,14 @@ func load(s *clam.Sharded, keys []uint64) time.Duration {
 }
 
 func main() {
+	smoke := flag.Bool("smoke", false, "shrink the workload for CI smoke runs")
+	flag.Parse()
+	if *smoke {
+		nKeys = 1 << 17
+	}
 	keys := fingerprints(1, nKeys)
 
-	s := open(8)
+	s := open(8).(*clam.Sharded)
 	shardedWall := load(s, keys)
 
 	st := s.Stats()
@@ -113,7 +121,7 @@ func main() {
 			i, ss.Core.Inserts, ss.Core.Lookups, s.Shard(i).Clock().Now().Round(time.Millisecond))
 	}
 
-	base := open(1)
+	base := open(1) // WithShards(1): a plain CLAM behind the same interface
 	baseWall := load(base, keys)
 	fmt.Printf("\n1 shard (paper baseline): %v wall-clock — %.2fx vs sharded\n",
 		baseWall.Round(time.Millisecond), baseWall.Seconds()/shardedWall.Seconds())

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -15,10 +16,13 @@ import (
 )
 
 func main() {
-	const (
-		s     = 32.0 // effective bytes per entry
-		flash = int64(128) << 20
-	)
+	smoke := flag.Bool("smoke", false, "shrink the workload for CI smoke runs")
+	flag.Parse()
+	const s = 32.0 // effective bytes per entry
+	flash := int64(128) << 20
+	if *smoke {
+		flash = 16 << 20
+	}
 	cr := costmodel.PageReadCost(costmodel.IntelSSDCosts())
 
 	// 1. How much memory should go to buffers? (Answer: B_opt, and not a
@@ -39,14 +43,14 @@ func main() {
 
 	// 4. Open a CLAM with a memory budget and verify the derived geometry
 	// and the predicted lookup overhead.
-	c, err := clam.Open(clam.Options{
-		Device:      clam.IntelSSD,
-		FlashBytes:  flash,
-		MemoryBytes: 16 << 20,
-	})
+	st, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(flash),
+		clam.WithMemory(flash/8))
 	if err != nil {
 		log.Fatal(err)
 	}
+	c := st.(*clam.CLAM)
 	cfg := c.Core().Config()
 	fmt.Printf("derived: %d super tables × %d incarnations × %d KB buffers, %d bloom bits/entry\n",
 		cfg.NumSuperTables(), cfg.NumIncarnations, cfg.BufferBytes>>10, cfg.FilterBitsPerEntry)
@@ -55,18 +59,18 @@ func main() {
 	// work plus false-positive reads).
 	entries := flash / 32
 	for i := int64(0); i < entries*5/4; i++ {
-		if err := c.Insert(uint64(i)+1, uint64(i)); err != nil {
+		if err := c.PutU64(uint64(i)+1, uint64(i)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	c.ResetMetrics()
 	for i := 0; i < 50_000; i++ {
-		c.Lookup(uint64(i) + (1 << 60)) // guaranteed misses
+		c.GetU64(uint64(i) + (1 << 60)) // guaranteed misses
 	}
-	st := c.Stats()
-	fmt.Printf("\nmeasured miss-lookup mean: %.4f ms (pure filter work)\n", metrics.Ms(st.LookupLatency.Mean))
+	stats := c.Stats()
+	fmt.Printf("\nmeasured miss-lookup mean: %.4f ms (pure filter work)\n", metrics.Ms(stats.LookupLatency.Mean))
 	fmt.Printf("spurious flash reads: %d in %d lookups (rate %.5f)\n",
-		st.Core.SpuriousProbes, st.Core.Lookups,
-		float64(st.Core.SpuriousProbes)/float64(st.Core.Lookups))
+		stats.Core.SpuriousProbes, stats.Core.Lookups,
+		float64(stats.Core.SpuriousProbes)/float64(stats.Core.Lookups))
 	fmt.Println("(compare: the model's expected false-positive I/O overhead at this filter size)")
 }

@@ -1,9 +1,12 @@
 // WAN optimizer example (§8): replay a 50%-redundant object trace through
 // a CLAM-backed optimizer at several link speeds and watch the effective
 // bandwidth improvement hold up where a disk-based index would collapse.
+// The index maps full SHA-1 chunk fingerprints to content-cache references
+// through the byte-keyed Store API.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,8 +17,17 @@ import (
 )
 
 func main() {
+	smoke := flag.Bool("smoke", false, "shrink the workload for CI smoke runs")
+	flag.Parse()
+	objects := 30
+	links := []int64{10, 50, 100, 200}
+	if *smoke {
+		objects = 8
+		links = []int64{10, 100}
+	}
+
 	trace := workload.GenerateTrace(workload.TraceConfig{
-		Objects:         30,
+		Objects:         objects,
 		MeanObjectBytes: 512 << 10,
 		Redundancy:      0.5,
 		Seed:            7,
@@ -25,14 +37,13 @@ func main() {
 		100*trace.MeasuredRedundancy(), 1/(1-trace.MeasuredRedundancy()))
 
 	fmt.Printf("%10s %22s %14s\n", "link", "bandwidth improvement", "compression")
-	for _, mbps := range []int64{10, 50, 100, 200} {
+	for _, mbps := range links {
 		clock := vclock.New()
-		index, err := clam.Open(clam.Options{
-			Device:      clam.TranscendSSD, // the paper's low-end device
-			FlashBytes:  64 << 20,
-			MemoryBytes: 8 << 20,
-			Clock:       clock,
-		})
+		index, err := clam.Open(
+			clam.WithDevice(clam.TranscendSSD), // the paper's low-end device
+			clam.WithFlash(64<<20),
+			clam.WithMemory(8<<20),
+			clam.WithClock(clock))
 		if err != nil {
 			log.Fatal(err)
 		}

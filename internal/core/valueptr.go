@@ -1,0 +1,59 @@
+package core
+
+// Value-pointer encoding: the 64-bit value slot of a hash entry either
+// holds an inline value (the paper's fingerprint → address workloads, the
+// clam U64 fast path) or a tagged pointer into a value log holding a
+// variable-length (key, value) record (the clam byte-key path). The
+// encoding is a property of the slot format shared by the cuckoo buffers
+// and the serialized incarnation images, so it lives here next to them:
+//
+//	bit  63     tag: 1 = value-log pointer, 0 = inline value
+//	bits 62..38 record length in bytes (25 bits, ≤ 32 MB - 1)
+//	bits 37..0  record byte offset in the log (38 bits, < 256 GB)
+//
+// BufferHash itself treats values as opaque 64-bit words — inline values
+// with bit 63 set are legal and the structure never decodes them. The tag
+// only acquires meaning on the byte-key path, where every read is verified
+// against the full key bytes stored in the record, so even an inline value
+// that happens to look like a pointer can never surface a wrong value.
+const (
+	valuePtrTag = uint64(1) << 63
+
+	valuePtrLenBits = 25
+	valuePtrOffBits = 38
+
+	// MaxValuePtrLen is the largest encodable record length in bytes.
+	MaxValuePtrLen = 1<<valuePtrLenBits - 1
+	// MaxValuePtrOff is the largest encodable record offset.
+	MaxValuePtrOff = int64(1)<<valuePtrOffBits - 1
+)
+
+// EncodeValuePtr packs a value-log record location into a tagged value
+// word. It reports ok=false when the location exceeds the encodable range
+// (offset ≥ 256 GB or record ≥ 32 MB).
+func EncodeValuePtr(off int64, n int) (word uint64, ok bool) {
+	if off < 0 || off > MaxValuePtrOff || n < 0 || n > MaxValuePtrLen {
+		return 0, false
+	}
+	return valuePtrTag | uint64(n)<<valuePtrOffBits | uint64(off), true
+}
+
+// DecodeValuePtr unpacks a value word as a value-log pointer. ok=false
+// means the word is an untagged inline value.
+func DecodeValuePtr(word uint64) (off int64, n int, ok bool) {
+	if word&valuePtrTag == 0 {
+		return 0, 0, false
+	}
+	off = int64(word & (1<<valuePtrOffBits - 1))
+	n = int(word >> valuePtrOffBits & (1<<valuePtrLenBits - 1))
+	return off, n, true
+}
+
+// ValuePointer decodes the result's value word as a value-log pointer.
+// ok=false means the lookup missed or the value is inline.
+func (r LookupResult) ValuePointer() (off int64, n int, ok bool) {
+	if !r.Found {
+		return 0, 0, false
+	}
+	return DecodeValuePtr(r.Value)
+}

@@ -21,6 +21,11 @@
 // A slot is empty iff its key field is zero; callers must normalize keys to
 // be non-zero (hashutil keys are full-avalanche hashes, and the core
 // package maps 0 to 1).
+//
+// Value words are opaque 64 bits: the table never inspects them. The byte
+// keyed clam path stores tagged value-log pointers in them (see
+// core.EncodeValuePtr); the U64 fast path stores raw values. Either way the
+// slot format is the same 16-byte (key, value) entry.
 package cuckoo
 
 import (

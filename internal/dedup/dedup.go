@@ -6,6 +6,13 @@
 // using Berkeley-DB could take as long as 2hrs. In contrast, our CLAM
 // prototypes can help the merge finish in under 2mins."
 //
+// Fingerprints are full SHA-1-sized byte strings and the index stores a
+// variable-length chunk locator per fingerprint (container + byte range) —
+// the record a real dedup index keeps. The clam byte-keyed Store serves
+// this directly; the Berkeley-DB baseline truncates fingerprints to 64
+// bits through an adapter, exactly the compromise the old 8-byte API
+// forced on every caller.
+//
 // The merge walks every fingerprint of the incoming (smaller) index,
 // looks it up in the destination index, and inserts it if absent — a
 // lookup-heavy, insert-heavy random workload that is exactly where
@@ -13,6 +20,8 @@
 package dedup
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -20,11 +29,29 @@ import (
 	"repro/internal/vclock"
 )
 
-// Index is the fingerprint store being merged into (CLAM or BDB).
+// FingerprintBytes is the size of a chunk fingerprint (SHA-1).
+const FingerprintBytes = 20
+
+// Index is the fingerprint store being merged into (a clam.Store, or the
+// BDB baseline behind an adapter): fingerprint bytes → chunk locator.
 type Index interface {
-	Insert(key, value uint64) error
-	Lookup(key uint64) (uint64, bool, error)
+	Put(fp, locator []byte) error
+	Get(fp []byte) ([]byte, bool, error)
 }
+
+// BatchIndex is implemented by indexes whose lookups and inserts can be
+// batched into overlapped submissions (clam.Store). Merge feeds such
+// indexes window-at-a-time, so the index page probes — and the value-log
+// record fetches behind the duplicate hits — overlap across the device's
+// queue lanes instead of paying one blocking round trip per fingerprint.
+type BatchIndex interface {
+	Index
+	GetBatch(ctx context.Context, fps [][]byte) ([][]byte, []bool, error)
+	PutBatch(ctx context.Context, fps, locators [][]byte) error
+}
+
+// mergeWindow is the batched-merge window size.
+const mergeWindow = 1024
 
 // FingerprintSet is a deterministic synthetic set of chunk fingerprints,
 // standing in for a dataset's index (DESIGN.md §3: synthetic stand-ins for
@@ -42,13 +69,21 @@ func NewFingerprintSet(seed uint64, n int64) *FingerprintSet {
 // Len returns the set size.
 func (s *FingerprintSet) Len() int64 { return s.n }
 
-// At returns the i-th fingerprint.
-func (s *FingerprintSet) At(i int64) uint64 {
-	fp := hashutil.Hash64Seed(uint64(i), s.seed)
-	if fp == 0 {
-		fp = 1
-	}
+// At returns the i-th fingerprint: 20 pseudo-SHA-1 bytes derived from the
+// set seed.
+func (s *FingerprintSet) At(i int64) []byte {
+	fp := make([]byte, FingerprintBytes)
+	binary.LittleEndian.PutUint64(fp[0:8], hashutil.Hash64Seed(uint64(i), s.seed))
+	binary.LittleEndian.PutUint64(fp[8:16], hashutil.Hash64Seed(uint64(i), s.seed^0xfeedface))
+	binary.LittleEndian.PutUint32(fp[16:20], uint32(hashutil.Hash64Seed(uint64(i), s.seed^0x1234abcd)))
 	return fp
+}
+
+// LocatorAt returns the i-th fingerprint's chunk locator — the
+// variable-length "where the chunk lives" record the index stores:
+// container, offset, length.
+func (s *FingerprintSet) LocatorAt(i int64) []byte {
+	return fmt.Appendf(nil, "container-%05d:%010x+%d", i>>10, i<<13, 4096+(i*97)%8192)
 }
 
 // Result summarizes a merge.
@@ -68,16 +103,30 @@ func (r Result) Rate() float64 {
 	return float64(r.Scanned) / r.Elapsed.Seconds()
 }
 
-// Merge folds the incoming fingerprint set into dst, overlapping an
-// existing population by reusing overlapSeed for a prefix of the set when
-// overlap > 0 is requested at generation time (see MakeOverlapping).
-func Merge(dst Index, incoming *FingerprintSet, clock *vclock.Clock) (Result, error) {
+// source is the common surface of FingerprintSet and OverlappingSet.
+type source interface {
+	Len() int64
+	At(i int64) []byte
+	LocatorAt(i int64) []byte
+}
+
+// merge folds src into dst: look up each fingerprint, insert the locator
+// for the new ones. Batch-capable indexes are driven window-at-a-time; the
+// per-fingerprint outcome (New vs Duplicate) is identical to the serial
+// walk — a fingerprint repeated within one window counts as a duplicate,
+// exactly as it would after the serial walk's insert.
+func merge(dst Index, src source, clock *vclock.Clock) (Result, error) {
 	var res Result
 	w := clock.StartWatch()
-	for i := int64(0); i < incoming.Len(); i++ {
-		fp := incoming.At(i)
+	if b, ok := dst.(BatchIndex); ok {
+		err := mergeBatched(b, src, &res)
+		res.Elapsed = w.Elapsed()
+		return res, err
+	}
+	for i := int64(0); i < src.Len(); i++ {
+		fp := src.At(i)
 		res.Scanned++
-		_, found, err := dst.Lookup(fp)
+		_, found, err := dst.Get(fp)
 		if err != nil {
 			return res, fmt.Errorf("dedup: lookup: %w", err)
 		}
@@ -85,7 +134,7 @@ func Merge(dst Index, incoming *FingerprintSet, clock *vclock.Clock) (Result, er
 			res.Duplicates++
 			continue
 		}
-		if err := dst.Insert(fp, uint64(i)); err != nil {
+		if err := dst.Put(fp, src.LocatorAt(i)); err != nil {
 			return res, fmt.Errorf("dedup: insert: %w", err)
 		}
 		res.New++
@@ -94,19 +143,65 @@ func Merge(dst Index, incoming *FingerprintSet, clock *vclock.Clock) (Result, er
 	return res, nil
 }
 
+// mergeBatched is the windowed merge path for batch-capable indexes.
+func mergeBatched(dst BatchIndex, src source, res *Result) error {
+	ctx := context.Background()
+	fps := make([][]byte, 0, mergeWindow)
+	locs := make([][]byte, 0, mergeWindow)
+	newFps := make([][]byte, 0, mergeWindow)
+	newLocs := make([][]byte, 0, mergeWindow)
+	seen := make(map[string]bool, mergeWindow)
+	for at := int64(0); at < src.Len(); at += mergeWindow {
+		fps, locs = fps[:0], locs[:0]
+		for i := at; i < min(at+mergeWindow, src.Len()); i++ {
+			fps = append(fps, src.At(i))
+			locs = append(locs, src.LocatorAt(i))
+		}
+		res.Scanned += int64(len(fps))
+		_, found, err := dst.GetBatch(ctx, fps)
+		if err != nil {
+			return fmt.Errorf("dedup: batched lookup: %w", err)
+		}
+		newFps, newLocs = newFps[:0], newLocs[:0]
+		clear(seen)
+		for i, ok := range found {
+			if ok || seen[string(fps[i])] {
+				res.Duplicates++
+				continue
+			}
+			seen[string(fps[i])] = true
+			newFps = append(newFps, fps[i])
+			newLocs = append(newLocs, locs[i])
+			res.New++
+		}
+		if len(newFps) == 0 {
+			continue
+		}
+		if err := dst.PutBatch(ctx, newFps, newLocs); err != nil {
+			return fmt.Errorf("dedup: batched insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// Merge folds the incoming fingerprint set into dst.
+func Merge(dst Index, incoming *FingerprintSet, clock *vclock.Clock) (Result, error) {
+	return merge(dst, incoming, clock)
+}
+
 // Populate bulk-inserts a fingerprint set into an index (building the
 // "large" destination index before a merge).
 func Populate(dst Index, set *FingerprintSet) error {
 	for i := int64(0); i < set.Len(); i++ {
-		if err := dst.Insert(set.At(i), uint64(i)); err != nil {
+		if err := dst.Put(set.At(i), set.LocatorAt(i)); err != nil {
 			return fmt.Errorf("dedup: populate: %w", err)
 		}
 	}
 	return nil
 }
 
-// MakeOverlapping returns an incoming set of n fingerprints of which
-// ~overlap fraction collide with base (sharing its seed and index space).
+// OverlappingSet is an incoming set of n fingerprints of which ~overlap
+// fraction collide with base (sharing its seed and index space).
 type OverlappingSet struct {
 	base    *FingerprintSet
 	fresh   *FingerprintSet
@@ -130,33 +225,22 @@ func (o *OverlappingSet) Len() int64 { return o.n }
 
 // At returns the i-th fingerprint: a duplicate of a base fingerprint for
 // the first overlap·n indexes, fresh otherwise.
-func (o *OverlappingSet) At(i int64) uint64 {
+func (o *OverlappingSet) At(i int64) []byte {
 	if float64(i) < o.overlap*float64(o.n) && o.base.Len() > 0 {
 		return o.base.At(i % o.base.Len())
 	}
 	return o.fresh.At(i)
 }
 
+// LocatorAt mirrors At's index space.
+func (o *OverlappingSet) LocatorAt(i int64) []byte {
+	if float64(i) < o.overlap*float64(o.n) && o.base.Len() > 0 {
+		return o.base.LocatorAt(i % o.base.Len())
+	}
+	return o.fresh.LocatorAt(i)
+}
+
 // MergeOverlapping is Merge for an OverlappingSet.
 func MergeOverlapping(dst Index, incoming *OverlappingSet, clock *vclock.Clock) (Result, error) {
-	var res Result
-	w := clock.StartWatch()
-	for i := int64(0); i < incoming.Len(); i++ {
-		fp := incoming.At(i)
-		res.Scanned++
-		_, found, err := dst.Lookup(fp)
-		if err != nil {
-			return res, fmt.Errorf("dedup: lookup: %w", err)
-		}
-		if found {
-			res.Duplicates++
-			continue
-		}
-		if err := dst.Insert(fp, uint64(i)); err != nil {
-			return res, fmt.Errorf("dedup: insert: %w", err)
-		}
-		res.New++
-	}
-	res.Elapsed = w.Elapsed()
-	return res, nil
+	return merge(dst, incoming, clock)
 }

@@ -1,40 +1,48 @@
 package dedup
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/clam"
 	"repro/internal/bdb"
+	"repro/internal/hashutil"
 	"repro/internal/ssd"
 	"repro/internal/vclock"
 )
 
+func openIndex(t *testing.T, flash, mem int64, clock *vclock.Clock) clam.Store {
+	t.Helper()
+	st, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(flash), clam.WithMemory(mem), clam.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestFingerprintSetDeterministicNonZero(t *testing.T) {
 	s := NewFingerprintSet(1, 1000)
-	seen := map[uint64]bool{}
+	seen := map[string]bool{}
 	for i := int64(0); i < s.Len(); i++ {
 		fp := s.At(i)
-		if fp == 0 {
-			t.Fatal("zero fingerprint")
+		if len(fp) != FingerprintBytes {
+			t.Fatalf("fingerprint %d has %d bytes", i, len(fp))
 		}
-		if seen[fp] {
+		if seen[string(fp)] {
 			t.Fatalf("duplicate fingerprint at %d", i)
 		}
-		seen[fp] = true
+		seen[string(fp)] = true
 	}
-	if s.At(7) != NewFingerprintSet(1, 1000).At(7) {
+	if !bytes.Equal(s.At(7), NewFingerprintSet(1, 1000).At(7)) {
 		t.Fatal("non-deterministic")
 	}
 }
 
 func TestMergeCountsNewAndDuplicate(t *testing.T) {
 	clock := vclock.New()
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Clock: clock,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := openIndex(t, 16<<20, 4<<20, clock)
 	base := NewFingerprintSet(1, 20000)
 	if err := Populate(c, base); err != nil {
 		t.Fatal(err)
@@ -60,9 +68,13 @@ func TestMergeCountsNewAndDuplicate(t *testing.T) {
 	if res.Rate() <= 0 {
 		t.Fatal("rate not computed")
 	}
-	// Merged fingerprints must now resolve.
-	if _, ok, _ := c.Lookup(incoming.At(9999)); !ok {
-		t.Fatal("merged fingerprint missing")
+	// Merged fingerprints must resolve to their chunk locator.
+	loc, ok, err := c.Get(incoming.At(9999))
+	if err != nil || !ok {
+		t.Fatalf("merged fingerprint missing: %v %v", ok, err)
+	}
+	if !bytes.Equal(loc, incoming.LocatorAt(9999)) {
+		t.Fatalf("merged locator = %q, want %q", loc, incoming.LocatorAt(9999))
 	}
 }
 
@@ -76,12 +88,7 @@ func TestCLAMMergeMuchFasterThanBDB(t *testing.T) {
 	base := NewFingerprintSet(10, baseN)
 
 	clockC := vclock.New()
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Clock: clockC,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := openIndex(t, 32<<20, 8<<20, clockC)
 	if err := Populate(c, base); err != nil {
 		t.Fatal(err)
 	}
@@ -113,22 +120,22 @@ func TestCLAMMergeMuchFasterThanBDB(t *testing.T) {
 	}
 }
 
-// bdbAdapter narrows *bdb.HashIndex to the dedup.Index interface.
+// bdbAdapter narrows *bdb.HashIndex to the dedup.Index interface the way
+// the paper-era API forced everyone to: full fingerprints truncated to 64
+// bits, locators to a word.
 type bdbAdapter struct{ h *bdb.HashIndex }
 
-func (a bdbAdapter) Insert(k, v uint64) error { return a.h.Insert(k, v) }
-func (a bdbAdapter) Lookup(k uint64) (uint64, bool, error) {
-	return a.h.Lookup(k)
+func (a bdbAdapter) Put(fp, locator []byte) error {
+	return a.h.Insert(hashutil.HashBytes(fp, 42)|1, uint64(len(locator)))
+}
+func (a bdbAdapter) Get(fp []byte) ([]byte, bool, error) {
+	_, ok, err := a.h.Lookup(hashutil.HashBytes(fp, 42) | 1)
+	return nil, ok, err
 }
 
 func TestPlainMerge(t *testing.T) {
 	clock := vclock.New()
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 8 << 20, MemoryBytes: 2 << 20, Clock: clock,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := openIndex(t, 8<<20, 2<<20, clock)
 	res, err := Merge(c, NewFingerprintSet(3, 5000), clock)
 	if err != nil {
 		t.Fatal(err)

@@ -6,31 +6,67 @@
 // centralized deployment should support fast inserts and efficient lookups
 // of the mappings."
 //
-// The directory stores name → (host, generation) mappings in a CLAM-style
-// index, with host departures handled by lazy deletion and re-registration
-// by lazy update — exactly the operations BufferHash supports (§5.1.1).
+// Names are arbitrary byte strings (content hashes) and the stored
+// location is a variable-length record — host id, registration generation
+// and the host's network address — held directly in a byte-keyed
+// CLAM-style store. Host departures are lazy deletes and re-registration
+// is a lazy update, exactly the operations BufferHash supports (§5.1.1).
 package dirsvc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
-	"repro/internal/hashutil"
 	"repro/internal/vclock"
 )
 
-// Store is the underlying CAM (CLAM or a baseline index with deletes).
+// Store is the underlying CAM: a byte-keyed clam.Store (or any baseline
+// index with the same surface).
 type Store interface {
-	Insert(key, value uint64) error
-	Lookup(key uint64) (uint64, bool, error)
-	Delete(key uint64) error
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, bool, error)
+	Delete(key []byte) error
 }
 
 // HostID identifies a data source.
 type HostID uint32
 
-// Directory resolves content names to hosts. Not safe for concurrent use
-// (wrap externally, as the clam facade does internally).
+// Location is a directory entry: where the named content lives.
+type Location struct {
+	Host HostID
+	// Gen counts re-registrations of the name (0 for the first).
+	Gen uint32
+	// Addr is the host's dialable address, e.g. "10.1.2.3:7654".
+	Addr string
+}
+
+// locHeader is the fixed prefix of an encoded Location.
+const locHeader = 8
+
+// encodeLocation packs a Location into a variable-length record.
+func encodeLocation(l Location) []byte {
+	buf := make([]byte, locHeader+len(l.Addr))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(l.Host))
+	binary.LittleEndian.PutUint32(buf[4:8], l.Gen)
+	copy(buf[locHeader:], l.Addr)
+	return buf
+}
+
+// decodeLocation unpacks a record written by encodeLocation.
+func decodeLocation(rec []byte) (Location, error) {
+	if len(rec) < locHeader {
+		return Location{}, fmt.Errorf("dirsvc: malformed location record (%d bytes)", len(rec))
+	}
+	return Location{
+		Host: HostID(binary.LittleEndian.Uint32(rec[0:4])),
+		Gen:  binary.LittleEndian.Uint32(rec[4:8]),
+		Addr: string(rec[locHeader:]),
+	}, nil
+}
+
+// Directory resolves content names to host locations. Not safe for
+// concurrent use (wrap externally, as the clam facade does internally).
 type Directory struct {
 	store Store
 	clock *vclock.Clock
@@ -54,40 +90,23 @@ func New(store Store, clock *vclock.Clock) *Directory {
 // Stats returns operation counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
-// nameKey hashes a content name to a 64-bit key.
-func nameKey(name []byte) uint64 {
-	k := hashutil.HashBytes(name, 0xD12C)
-	if k == 0 {
-		k = 1
-	}
-	return k
-}
-
-// encode packs (host, generation) into a value.
-func encode(host HostID, gen uint32) uint64 {
-	return uint64(host)<<32 | uint64(gen)
-}
-
-// decode unpacks a value.
-func decode(v uint64) (HostID, uint32) {
-	return HostID(v >> 32), uint32(v)
-}
-
-// Register announces that host serves the named content. Re-registration
-// bumps the generation (a lazy update in the store).
-func (d *Directory) Register(name []byte, host HostID) error {
+// Register announces that host serves the named content at addr.
+// Re-registration bumps the generation (a lazy update in the store).
+func (d *Directory) Register(name []byte, host HostID, addr string) error {
 	w := d.clock.StartWatch()
 	defer func() { d.stats.TotalTime += w.Elapsed() }()
 	d.stats.Registers++
-	key := nameKey(name)
-	gen := uint32(0)
-	if v, ok, err := d.store.Lookup(key); err != nil {
+	loc := Location{Host: host, Addr: addr}
+	if rec, ok, err := d.store.Get(name); err != nil {
 		return fmt.Errorf("dirsvc: register lookup: %w", err)
 	} else if ok {
-		_, g := decode(v)
-		gen = g + 1
+		prev, err := decodeLocation(rec)
+		if err != nil {
+			return err
+		}
+		loc.Gen = prev.Gen + 1
 	}
-	return d.store.Insert(key, encode(host, gen))
+	return d.store.Put(name, encodeLocation(loc))
 }
 
 // Unregister removes the mapping for name (the source left the network).
@@ -95,21 +114,24 @@ func (d *Directory) Unregister(name []byte) error {
 	w := d.clock.StartWatch()
 	defer func() { d.stats.TotalTime += w.Elapsed() }()
 	d.stats.Unregisters++
-	return d.store.Delete(nameKey(name))
+	return d.store.Delete(name)
 }
 
-// Resolve returns the current host for the named content.
-func (d *Directory) Resolve(name []byte) (HostID, bool, error) {
+// Resolve returns the current location for the named content.
+func (d *Directory) Resolve(name []byte) (Location, bool, error) {
 	w := d.clock.StartWatch()
 	defer func() { d.stats.TotalTime += w.Elapsed() }()
 	d.stats.Resolves++
-	v, ok, err := d.store.Lookup(nameKey(name))
+	rec, ok, err := d.store.Get(name)
 	if err != nil || !ok {
-		return 0, false, err
+		return Location{}, false, err
+	}
+	loc, err := decodeLocation(rec)
+	if err != nil {
+		return Location{}, false, err
 	}
 	d.stats.ResolveHits++
-	host, _ := decode(v)
-	return host, true, nil
+	return loc, true, nil
 }
 
 // MeanOpLatency returns the average virtual-time cost per directory

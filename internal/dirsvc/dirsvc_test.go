@@ -11,23 +11,31 @@ import (
 func newDir(t testing.TB) (*Directory, *vclock.Clock) {
 	t.Helper()
 	clock := vclock.New()
-	c, err := clam.Open(clam.Options{
-		Device: clam.IntelSSD, FlashBytes: 16 << 20, MemoryBytes: 4 << 20, Clock: clock,
-	})
+	c, err := clam.Open(
+		clam.WithDevice(clam.IntelSSD),
+		clam.WithFlash(16<<20), clam.WithMemory(4<<20), clam.WithClock(clock))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return New(c, clock), clock
 }
 
+func hostAddr(h HostID) string { return fmt.Sprintf("10.%d.%d.%d:7654", h>>16, h>>8&0xff, h&0xff) }
+
 func TestRegisterResolve(t *testing.T) {
 	d, _ := newDir(t)
-	if err := d.Register([]byte("chunk-abc"), 42); err != nil {
+	if err := d.Register([]byte("chunk-abc"), 42, hostAddr(42)); err != nil {
 		t.Fatal(err)
 	}
-	host, ok, err := d.Resolve([]byte("chunk-abc"))
-	if err != nil || !ok || host != 42 {
-		t.Fatalf("Resolve = %d %v %v", host, ok, err)
+	loc, ok, err := d.Resolve([]byte("chunk-abc"))
+	if err != nil || !ok || loc.Host != 42 {
+		t.Fatalf("Resolve = %+v %v %v", loc, ok, err)
+	}
+	if loc.Addr != hostAddr(42) {
+		t.Fatalf("Resolve addr = %q, want %q", loc.Addr, hostAddr(42))
+	}
+	if loc.Gen != 0 {
+		t.Fatalf("first registration gen = %d", loc.Gen)
 	}
 	if _, ok, _ := d.Resolve([]byte("chunk-xyz")); ok {
 		t.Fatal("phantom resolution")
@@ -36,17 +44,20 @@ func TestRegisterResolve(t *testing.T) {
 
 func TestReRegistrationWins(t *testing.T) {
 	d, _ := newDir(t)
-	d.Register([]byte("n"), 1)
-	d.Register([]byte("n"), 2)
-	host, ok, _ := d.Resolve([]byte("n"))
-	if !ok || host != 2 {
-		t.Fatalf("Resolve = %d %v, want newest host 2", host, ok)
+	d.Register([]byte("n"), 1, hostAddr(1))
+	d.Register([]byte("n"), 2, hostAddr(2))
+	loc, ok, _ := d.Resolve([]byte("n"))
+	if !ok || loc.Host != 2 || loc.Addr != hostAddr(2) {
+		t.Fatalf("Resolve = %+v %v, want newest host 2", loc, ok)
+	}
+	if loc.Gen != 1 {
+		t.Fatalf("re-registration gen = %d, want 1", loc.Gen)
 	}
 }
 
 func TestUnregister(t *testing.T) {
 	d, _ := newDir(t)
-	d.Register([]byte("gone"), 7)
+	d.Register([]byte("gone"), 7, hostAddr(7))
 	if err := d.Unregister([]byte("gone")); err != nil {
 		t.Fatal(err)
 	}
@@ -54,8 +65,8 @@ func TestUnregister(t *testing.T) {
 		t.Fatal("unregistered name still resolves")
 	}
 	// Re-registration after departure works.
-	d.Register([]byte("gone"), 9)
-	if host, ok, _ := d.Resolve([]byte("gone")); !ok || host != 9 {
+	d.Register([]byte("gone"), 9, hostAddr(9))
+	if loc, ok, _ := d.Resolve([]byte("gone")); !ok || loc.Host != 9 {
 		t.Fatal("re-registration failed")
 	}
 }
@@ -65,7 +76,8 @@ func TestChurnAtScale(t *testing.T) {
 	// Register 30k names across 100 hosts, then churn.
 	name := func(i int) []byte { return []byte(fmt.Sprintf("content-%d", i)) }
 	for i := 0; i < 30000; i++ {
-		if err := d.Register(name(i), HostID(i%100)); err != nil {
+		h := HostID(i % 100)
+		if err := d.Register(name(i), h, hostAddr(h)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,12 +85,13 @@ func TestChurnAtScale(t *testing.T) {
 		if i%3 == 0 {
 			d.Unregister(name(i))
 		} else {
-			d.Register(name(i), HostID(i%100+200))
+			h := HostID(i%100 + 200)
+			d.Register(name(i), h, hostAddr(h))
 		}
 	}
 	missing, stale := 0, 0
 	for i := 0; i < 5000; i++ {
-		host, ok, err := d.Resolve(name(i))
+		loc, ok, err := d.Resolve(name(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,9 +101,10 @@ func TestChurnAtScale(t *testing.T) {
 			}
 			continue
 		}
+		want := HostID(i%100 + 200)
 		if !ok {
 			missing++
-		} else if host != HostID(i%100+200) {
+		} else if loc.Host != want || loc.Addr != hostAddr(want) {
 			stale++
 		}
 	}
@@ -110,7 +124,7 @@ func TestChurnAtScale(t *testing.T) {
 
 func TestStatsHitRate(t *testing.T) {
 	d, _ := newDir(t)
-	d.Register([]byte("x"), 1)
+	d.Register([]byte("x"), 1, hostAddr(1))
 	d.Resolve([]byte("x"))
 	d.Resolve([]byte("y"))
 	st := d.Stats()
@@ -123,5 +137,20 @@ func TestMeanLatencyEmptyDirectory(t *testing.T) {
 	d, _ := newDir(t)
 	if d.MeanOpLatency() != 0 {
 		t.Fatal("empty directory should report zero latency")
+	}
+}
+
+func TestLocationRoundTrip(t *testing.T) {
+	for _, l := range []Location{
+		{Host: 0, Gen: 0, Addr: ""},
+		{Host: 1<<32 - 1, Gen: 77, Addr: "host-77.rack9.dc2.example.com:65535"},
+	} {
+		got, err := decodeLocation(encodeLocation(l))
+		if err != nil || got != l {
+			t.Fatalf("round trip %+v -> %+v (%v)", l, got, err)
+		}
+	}
+	if _, err := decodeLocation([]byte{1, 2}); err == nil {
+		t.Fatal("short record decoded")
 	}
 }

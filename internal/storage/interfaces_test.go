@@ -1,0 +1,203 @@
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/flashchip"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// These tests pin the storage-layer contracts the value log and the
+// incarnation layouts rely on: SparseStore.Drop's page-boundary behaviour
+// and the Trimmer/Eraser optional interfaces as seen through a plain
+// storage.Device.
+
+func TestSparseStoreDropBoundaryCases(t *testing.T) {
+	const page = 16
+	fresh := func() *storage.SparseStore {
+		s := storage.NewSparseStore(page, 0xEE)
+		data := make([]byte, 5*page)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		s.WriteAt(data, 0)
+		return s
+	}
+	check := func(t *testing.T, s *storage.SparseStore, dropOff, dropN int64) {
+		t.Helper()
+		got := make([]byte, 5*page)
+		s.ReadAt(got, 0)
+		for i := int64(0); i < int64(len(got)); i++ {
+			want := byte(i)
+			if i >= dropOff && i < dropOff+dropN {
+				want = 0xEE
+			}
+			if got[i] != want {
+				t.Fatalf("byte %d = %#x, want %#x (drop [%d, %d))", i, got[i], want, dropOff, dropOff+dropN)
+			}
+		}
+	}
+
+	t.Run("exactly-page-aligned", func(t *testing.T) {
+		s := fresh()
+		s.Drop(page, 2*page)
+		if s.PagesAllocated() != 3 {
+			t.Fatalf("PagesAllocated = %d, want 3 (two whole pages freed)", s.PagesAllocated())
+		}
+		check(t, s, page, 2*page)
+	})
+	t.Run("straddles-both-boundaries", func(t *testing.T) {
+		// Partial page 0 tail + whole pages 1,2 + partial page 3 head.
+		s := fresh()
+		s.Drop(page-4, 2*page+8)
+		if s.PagesAllocated() != 3 {
+			t.Fatalf("PagesAllocated = %d, want 3", s.PagesAllocated())
+		}
+		check(t, s, page-4, 2*page+8)
+	})
+	t.Run("within-one-page", func(t *testing.T) {
+		s := fresh()
+		s.Drop(page+3, 7)
+		if s.PagesAllocated() != 5 {
+			t.Fatalf("PagesAllocated = %d, want 5 (no page fully covered)", s.PagesAllocated())
+		}
+		check(t, s, page+3, 7)
+	})
+	t.Run("ends-exactly-on-boundary", func(t *testing.T) {
+		s := fresh()
+		s.Drop(page+4, page-4) // tail of page 1 only, up to page 2's start
+		if s.PagesAllocated() != 5 {
+			t.Fatalf("PagesAllocated = %d, want 5", s.PagesAllocated())
+		}
+		check(t, s, page+4, page-4)
+	})
+	t.Run("single-byte", func(t *testing.T) {
+		s := fresh()
+		s.Drop(2*page, 1)
+		check(t, s, 2*page, 1)
+	})
+	t.Run("unallocated-pages-are-noop", func(t *testing.T) {
+		s := storage.NewSparseStore(page, 0xEE)
+		s.WriteAt(make([]byte, page), 0)
+		s.Drop(3*page, 2*page) // never written
+		if s.PagesAllocated() != 1 {
+			t.Fatalf("PagesAllocated = %d, want 1", s.PagesAllocated())
+		}
+	})
+}
+
+// TestTrimmerInterface exercises Trim through the optional interface from
+// a plain Device value, on both FTL flavours.
+func TestTrimmerInterface(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dev  storage.Device
+	}{
+		{"page-mapped", ssd.New(ssd.IntelX18M(), 4<<20, vclock.New())},
+		{"block-mapped", ssd.New(ssd.TranscendTS32(), 4<<20, vclock.New())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, ok := tc.dev.(storage.Trimmer)
+			if !ok {
+				t.Fatal("SSD does not expose storage.Trimmer")
+			}
+			page := tc.dev.Geometry().PageSize
+			data := bytes.Repeat([]byte{0xAB}, 2*page)
+			if _, err := tc.dev.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			// Trim the first page only; the second must survive.
+			if err := tr.Trim(0, int64(page)); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 2*page)
+			if _, err := tc.dev.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < page; i++ {
+				if got[i] != 0 {
+					t.Fatalf("trimmed byte %d = %#x, want 0", i, got[i])
+				}
+			}
+			// The block-mapped FTL trims whole erase blocks (it has no
+			// per-page map), so only the page-mapped device guarantees the
+			// neighbouring page survives a sub-block trim.
+			if tc.name == "page-mapped" && !bytes.Equal(got[page:], data[page:]) {
+				t.Fatal("untrimmed page corrupted")
+			}
+			// Partial-page trims must be rejected as unaligned.
+			if err := tr.Trim(int64(page/2), int64(page)); !errors.Is(err, storage.ErrUnaligned) {
+				t.Fatalf("partial-page trim: %v, want ErrUnaligned", err)
+			}
+			if err := tr.Trim(0, int64(page)/2); !errors.Is(err, storage.ErrUnaligned) {
+				t.Fatalf("partial-page-length trim: %v, want ErrUnaligned", err)
+			}
+		})
+	}
+	// Disks have no FTL and must NOT advertise Trimmer.
+	if _, ok := interface{}(disk.New(disk.Hitachi7K80(), 4<<20, vclock.New())).(storage.Trimmer); ok {
+		t.Fatal("disk claims storage.Trimmer")
+	}
+}
+
+// TestEraserInterface exercises Erase through the optional interface from
+// a plain Device value.
+func TestEraserInterface(t *testing.T) {
+	var dev storage.Device = flashchip.New(flashchip.DefaultConfig(1<<20), vclock.New())
+	er, ok := dev.(storage.Eraser)
+	if !ok {
+		t.Fatal("flash chip does not expose storage.Eraser")
+	}
+	g := dev.Geometry()
+	bs := int64(g.BlockSize)
+
+	// Program block 0, then overwrite without erase: must fail.
+	page := make([]byte, g.PageSize)
+	for i := range page {
+		page[i] = 0x5A
+	}
+	if _, err := dev.WriteAt(page, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt(page, 0); !errors.Is(err, storage.ErrNotErased) && !errors.Is(err, storage.ErrProgramOrder) {
+		t.Fatalf("rewrite without erase: %v, want ErrNotErased/ErrProgramOrder", err)
+	}
+	// Erase the block: contents read as 0xFF and the page can be
+	// programmed again.
+	if lat, err := er.Erase(0, bs); err != nil || lat <= 0 {
+		t.Fatalf("erase: lat=%v err=%v", lat, err)
+	}
+	got := make([]byte, g.PageSize)
+	if _, err := dev.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xFF {
+			t.Fatalf("erased byte %d = %#x, want 0xFF", i, b)
+		}
+	}
+	if _, err := dev.WriteAt(page, 0); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+
+	// Erase must be block-aligned, in offset and length.
+	if _, err := er.Erase(bs/2, bs); !errors.Is(err, storage.ErrUnaligned) {
+		t.Fatalf("partial-block erase offset: %v, want ErrUnaligned", err)
+	}
+	if _, err := er.Erase(0, bs/2); !errors.Is(err, storage.ErrUnaligned) {
+		t.Fatalf("partial-block erase length: %v, want ErrUnaligned", err)
+	}
+	if _, err := er.Erase(g.Capacity, bs); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("out-of-range erase: %v, want ErrOutOfRange", err)
+	}
+
+	// SSDs hide their erase behind the FTL and must NOT advertise Eraser.
+	if _, ok := interface{}(ssd.New(ssd.IntelX18M(), 4<<20, vclock.New())).(storage.Eraser); ok {
+		t.Fatal("SSD claims storage.Eraser")
+	}
+}

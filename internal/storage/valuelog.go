@@ -1,0 +1,382 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ValueLog is a circular append-only log of variable-length (key, value)
+// records on a Device — the slow-storage half of the byte-keyed CAM API.
+// The hash table maps a key's fingerprint to a tagged pointer (offset,
+// length) into this log; the record stores the full key bytes, so every
+// read is verified against the key the caller asked for and fingerprint
+// collisions or overwritten (wrapped-over) records surface as misses, never
+// as wrong values.
+//
+// Writes are page-aligned: records accumulate in a tail buffer whose full
+// pages are written to the device in multi-page appends (sequential I/O,
+// the access pattern every medium in this repository likes best). Reads are
+// byte-granular, as all simulated devices permit; records still buffered in
+// the tail are served from memory. On devices with an erase constraint
+// (raw NAND) the log erases each block just before the append head re-enters
+// it after a wrap, preserving program order within blocks.
+//
+// Batched reads go through the device's BatchReader when it implements one,
+// overlapping the records' service times across the device's queue lanes —
+// the "second I/O stream" of a batched Get: first the incarnation page
+// probes overlap, then the value-log record reads overlap.
+//
+// A ValueLog is not safe for concurrent use; the clam facade serializes
+// access under the same lock as the hash table.
+type ValueLog struct {
+	dev      Device
+	eraser   Eraser // non-nil when dev has an erase constraint
+	pageSize int
+	capacity int64 // page-aligned (block-aligned on erasable media) usable bytes
+
+	head     int64  // next append offset
+	bufStart int64  // device offset of buf[0]; page-aligned
+	buf      []byte // bytes [bufStart, head) not yet written to the device
+	flushAt  int    // flush full pages once the tail buffer reaches this size
+
+	wrapped  bool
+	erasedTo int64 // exclusive erase frontier for the current cycle
+
+	stats ValueLogStats
+
+	scratch []byte    // batched-read arena, reused across calls
+	reqs    []ReadReq // batched-read request scratch
+}
+
+// ValueLogStats counts log activity.
+type ValueLogStats struct {
+	// Records is the number of records appended.
+	Records uint64
+	// AppendedBytes is the total record bytes appended (headers included).
+	AppendedBytes uint64
+	// Wraps counts how many times the append head wrapped to offset 0,
+	// overwriting the oldest records (the log's FIFO eviction).
+	Wraps uint64
+	// BufferedBytes is the current tail-buffer occupancy.
+	BufferedBytes int64
+}
+
+// Add accumulates another log's stats (sharded aggregation). BufferedBytes
+// sums to the fleet-wide tail-buffer occupancy.
+func (s *ValueLogStats) Add(o ValueLogStats) {
+	s.Records += o.Records
+	s.AppendedBytes += o.AppendedBytes
+	s.Wraps += o.Wraps
+	s.BufferedBytes += o.BufferedBytes
+}
+
+// recordHeaderSize is the per-record header: uint32 key length, uint32
+// value length, little-endian.
+const recordHeaderSize = 8
+
+// MaxValueRecordBytes caps one record (header + key + value) so record
+// pointers stay encodable in a 64-bit value word alongside their offset
+// (see core.EncodeValuePtr: 25 bits of length).
+const MaxValueRecordBytes = 1<<25 - 1
+
+// MaxValueLogBytes caps the log capacity so record offsets stay encodable
+// (38 bits of offset).
+const MaxValueLogBytes = int64(1) << 38
+
+// RecordSize returns the on-log size of a (key, value) record.
+func RecordSize(keyLen, valLen int) int {
+	return recordHeaderSize + keyLen + valLen
+}
+
+// NewValueLog builds a log over dev, using its whole capacity. The usable
+// capacity is rounded down to the page (erase-block, on erasable media)
+// multiple and must hold at least eight pages.
+func NewValueLog(dev Device) (*ValueLog, error) {
+	g := dev.Geometry()
+	align := int64(g.PageSize)
+	eraser, _ := dev.(Eraser)
+	if eraser != nil && g.BlockSize > 0 {
+		align = int64(g.BlockSize)
+	}
+	capacity := g.Capacity / align * align
+	if capacity > MaxValueLogBytes {
+		return nil, fmt.Errorf("storage: value log capacity %d exceeds the %d pointer-encoding limit",
+			capacity, MaxValueLogBytes)
+	}
+	if capacity < 8*int64(g.PageSize) {
+		return nil, fmt.Errorf("storage: value log needs at least 8 pages, got %d bytes", capacity)
+	}
+	// Flush in ~64 KB sequential appends (an erase block on raw NAND);
+	// smaller logs flush at a quarter of their capacity.
+	flushAt := 64 << 10
+	if g.BlockSize > 0 && eraser != nil {
+		flushAt = g.BlockSize
+	}
+	flushAt -= flushAt % g.PageSize
+	if int64(flushAt) > capacity/4 {
+		flushAt = int(capacity/4) / g.PageSize * g.PageSize
+	}
+	if flushAt < g.PageSize {
+		flushAt = g.PageSize
+	}
+	return &ValueLog{
+		dev:      dev,
+		eraser:   eraser,
+		pageSize: g.PageSize,
+		capacity: capacity,
+		flushAt:  flushAt,
+		erasedTo: capacity, // fresh media: nothing to erase until the first wrap
+	}, nil
+}
+
+// Capacity returns the usable log capacity in bytes.
+func (l *ValueLog) Capacity() int64 { return l.capacity }
+
+// Device returns the backing device.
+func (l *ValueLog) Device() Device { return l.dev }
+
+// Stats returns a snapshot of the log counters.
+func (l *ValueLog) Stats() ValueLogStats {
+	s := l.stats
+	s.BufferedBytes = int64(len(l.buf))
+	return s
+}
+
+// Append writes a (key, value) record and returns its pointer (offset and
+// total length). The returned offset becomes invalid — and reads of it
+// self-invalidate via key verification — once the head wraps past it.
+func (l *ValueLog) Append(key, value []byte) (off int64, n int, err error) {
+	n = RecordSize(len(key), len(value))
+	if int64(n) > l.capacity {
+		return 0, 0, fmt.Errorf("storage: value record of %d bytes exceeds log capacity %d", n, l.capacity)
+	}
+	if n > MaxValueRecordBytes {
+		return 0, 0, fmt.Errorf("storage: value record of %d bytes exceeds the %d record limit", n, MaxValueRecordBytes)
+	}
+	if l.head+int64(n) > l.capacity {
+		if err := l.wrap(); err != nil {
+			return 0, 0, err
+		}
+	}
+	off = l.head
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(value)))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, key...)
+	l.buf = append(l.buf, value...)
+	l.head += int64(n)
+	l.stats.Records++
+	l.stats.AppendedBytes += uint64(n)
+	if len(l.buf) >= l.flushAt {
+		if err := l.flushFullPages(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return off, n, nil
+}
+
+// flushFullPages writes the tail buffer's whole pages to the device and
+// keeps the partial-page remainder buffered. bufStart stays page-aligned.
+func (l *ValueLog) flushFullPages() error {
+	p := len(l.buf) - len(l.buf)%l.pageSize
+	if p == 0 {
+		return nil
+	}
+	if err := l.writeBuf(p); err != nil {
+		return err
+	}
+	rest := copy(l.buf, l.buf[p:])
+	l.buf = l.buf[:rest]
+	l.bufStart += int64(p)
+	return nil
+}
+
+// wrap pads the tail buffer to a page boundary, writes it out, and moves
+// the append head back to offset 0, beginning a new overwrite cycle.
+func (l *ValueLog) wrap() error {
+	if pad := (l.pageSize - len(l.buf)%l.pageSize) % l.pageSize; pad > 0 {
+		l.buf = append(l.buf, make([]byte, pad)...)
+	}
+	if len(l.buf) > 0 {
+		if err := l.writeBuf(len(l.buf)); err != nil {
+			return err
+		}
+	}
+	l.buf = l.buf[:0]
+	l.head, l.bufStart = 0, 0
+	l.wrapped = true
+	l.erasedTo = 0
+	l.stats.Wraps++
+	return nil
+}
+
+// writeBuf writes buf[:p] at bufStart, erasing blocks the head re-enters
+// on wrapped cycles of erasable media.
+func (l *ValueLog) writeBuf(p int) error {
+	if l.eraser != nil && l.wrapped {
+		bs := int64(l.dev.Geometry().BlockSize)
+		for l.erasedTo < l.bufStart+int64(p) {
+			if _, err := l.eraser.Erase(l.erasedTo, bs); err != nil {
+				return fmt.Errorf("storage: value log erase: %w", err)
+			}
+			l.erasedTo += bs
+		}
+	}
+	if _, err := l.dev.WriteAt(l.buf[:p], l.bufStart); err != nil {
+		return fmt.Errorf("storage: value log write: %w", err)
+	}
+	return nil
+}
+
+// ValueReadReq is one record read of a batched value-log fetch. Off and N
+// come from the record's pointer; Rec receives the record bytes (aliasing
+// log-owned scratch, valid until the next log call) or stays nil when the
+// pointer no longer addresses a live record region.
+type ValueReadReq struct {
+	Off int64
+	N   int
+	Rec []byte
+}
+
+// inRange reports whether [off, off+n) can hold a record this cycle.
+// Pointers past the current head on an unwrapped log were never written;
+// anything else is readable (possibly overwritten — key verification
+// decides).
+func (l *ValueLog) inRange(off int64, n int) bool {
+	if off < 0 || n < recordHeaderSize || off+int64(n) > l.capacity {
+		return false
+	}
+	if !l.wrapped && off+int64(n) > l.head {
+		return false
+	}
+	return true
+}
+
+// readSegments splits a log range into its buffered and device-backed
+// segments: only [bufStart, head) lives in the tail buffer; everything
+// else — including stale regions past the head that a wrapped-over pointer
+// may still address — is read from the device, where key verification
+// sorts live records from overwritten ones. Each device segment is emitted
+// through emit; the buffered overlap is copied immediately.
+func (l *ValueLog) readSegments(p []byte, off int64, emit func(seg []byte, segOff int64)) {
+	end := off + int64(len(p))
+	head := l.bufStart + int64(len(l.buf))
+	if off < l.bufStart { // device bytes before the flush frontier
+		devEnd := min(end, l.bufStart)
+		emit(p[:devEnd-off], off)
+	}
+	if end > l.bufStart && off < head { // tail-buffer overlap
+		lo, hi := max(off, l.bufStart), min(end, head)
+		copy(p[lo-off:hi-off], l.buf[lo-l.bufStart:hi-l.bufStart])
+	}
+	if end > head { // stale device bytes past the head (wrapped pointers)
+		devOff := max(off, head)
+		emit(p[devOff-off:], devOff)
+	}
+}
+
+// readSplit fills p with the log bytes at off, serving buffered bytes from
+// the tail buffer and the rest with direct device reads.
+func (l *ValueLog) readSplit(p []byte, off int64) error {
+	var err error
+	l.readSegments(p, off, func(seg []byte, segOff int64) {
+		if err != nil {
+			return
+		}
+		if _, rerr := l.dev.ReadAt(seg, segOff); rerr != nil {
+			err = fmt.Errorf("storage: value log read: %w", rerr)
+		}
+	})
+	return err
+}
+
+// ReadRecord fetches one record's bytes. ok=false means the pointer does
+// not address a live record region (stale after a wrap on an unwrapped
+// region, or out of range); the returned slice aliases log-owned scratch
+// valid until the next log call.
+func (l *ValueLog) ReadRecord(off int64, n int) (rec []byte, ok bool, err error) {
+	if !l.inRange(off, n) {
+		return nil, false, nil
+	}
+	if cap(l.scratch) < n {
+		l.scratch = make([]byte, n)
+	}
+	rec = l.scratch[:n]
+	if err := l.readSplit(rec, off); err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// ReadRecordsBatch resolves every request's record bytes. Requests whose
+// device portions survive are gathered, address-sorted and issued as one
+// BatchReader submission when the device supports it (falling back to a
+// sorted serial loop), so a batch of record fetches pays the overlapped
+// service time, not the serial sum. Buffered bytes are copied from the
+// tail buffer. Rec slices alias log-owned scratch valid until the next
+// log call; out-of-range requests leave Rec nil.
+func (l *ValueLog) ReadRecordsBatch(reqs []ValueReadReq) error {
+	total := 0
+	for i := range reqs {
+		reqs[i].Rec = nil
+		if l.inRange(reqs[i].Off, reqs[i].N) {
+			total += reqs[i].N
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if cap(l.scratch) < total {
+		l.scratch = make([]byte, total)
+	}
+	arena := l.scratch[:0]
+	l.reqs = l.reqs[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		if !l.inRange(r.Off, r.N) {
+			continue
+		}
+		rec := arena[len(arena) : len(arena)+r.N]
+		arena = arena[:len(arena)+r.N]
+		r.Rec = rec
+		// Device segments become batched read requests; the tail-buffer
+		// overlap is copied immediately.
+		l.readSegments(rec, r.Off, func(seg []byte, segOff int64) {
+			l.reqs = append(l.reqs, ReadReq{P: seg, Off: segOff})
+		})
+	}
+	if len(l.reqs) == 0 {
+		return nil
+	}
+	var err error
+	if br, ok := l.dev.(BatchReader); ok {
+		_, err = br.ReadBatch(l.reqs)
+	} else {
+		_, err = ReadBatchFallback(l.dev, l.reqs)
+	}
+	if err != nil {
+		return fmt.Errorf("storage: value log batched read: %w", err)
+	}
+	return nil
+}
+
+// VerifyRecord parses rec as a (key, value) record and returns the value
+// bytes — aliasing rec — iff the stored key matches key exactly and the
+// lengths are consistent with the record size. A mismatch means the
+// fingerprint collided or the record was overwritten after a wrap; both
+// read as a miss.
+func VerifyRecord(rec, key []byte) (value []byte, ok bool) {
+	if len(rec) < recordHeaderSize {
+		return nil, false
+	}
+	kl := int(binary.LittleEndian.Uint32(rec[0:4]))
+	vl := int(binary.LittleEndian.Uint32(rec[4:8]))
+	if kl != len(key) || kl < 0 || vl < 0 || RecordSize(kl, vl) != len(rec) {
+		return nil, false
+	}
+	if string(rec[recordHeaderSize:recordHeaderSize+kl]) != string(key) {
+		return nil, false
+	}
+	return rec[recordHeaderSize+kl:], true
+}

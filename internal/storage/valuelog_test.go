@@ -1,0 +1,232 @@
+package storage_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/flashchip"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// vlogDevices builds one instance of every device model at a small
+// capacity, so the log is exercised over byte-addressable reads (SSD,
+// disk) and the erase-constrained NAND path alike.
+func vlogDevices(t *testing.T, capacity int64) map[string]storage.Device {
+	t.Helper()
+	return map[string]storage.Device{
+		"ssd":  ssd.New(ssd.IntelX18M(), capacity, vclock.New()),
+		"disk": disk.New(disk.Hitachi7K80(), capacity, vclock.New()),
+		"chip": flashchip.New(flashchip.DefaultConfig(capacity), vclock.New()),
+	}
+}
+
+func TestValueLogRoundTrip(t *testing.T) {
+	for name, dev := range vlogDevices(t, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			l, err := storage.NewValueLog(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type ref struct {
+				off int64
+				n   int
+				key []byte
+				val []byte
+			}
+			var refs []ref
+			// Variable-length records, including empty values and records
+			// far larger than a page (spanning pages and flush chunks).
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("key-%04d-%s", i, bytes.Repeat([]byte{'k'}, i%37)))
+				val := bytes.Repeat([]byte{byte(i)}, (i*131)%2500)
+				off, n, err := l.Append(key, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs = append(refs, ref{off, n, key, val})
+			}
+			for _, r := range refs {
+				rec, ok, err := l.ReadRecord(r.off, r.n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("record at %d unreadable before any wrap", r.off)
+				}
+				val, ok := storage.VerifyRecord(rec, r.key)
+				if !ok {
+					t.Fatalf("record at %d failed key verification", r.off)
+				}
+				if !bytes.Equal(val, r.val) {
+					t.Fatalf("record at %d value mismatch: %d vs %d bytes", r.off, len(val), len(r.val))
+				}
+				// The wrong key must never verify.
+				if _, ok := storage.VerifyRecord(rec, append([]byte("x"), r.key...)); ok {
+					t.Fatal("record verified under a different key")
+				}
+			}
+			if st := l.Stats(); st.Records != 300 || st.Wraps != 0 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestValueLogBatchedReads(t *testing.T) {
+	for name, dev := range vlogDevices(t, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			l, err := storage.NewValueLog(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := make([][]byte, 200)
+			vals := make([][]byte, 200)
+			reqs := make([]storage.ValueReadReq, 200)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("batch-key-%05d", i))
+				vals[i] = bytes.Repeat([]byte{byte(i), byte(i >> 3)}, 1+(i*97)%800)
+				off, n, err := l.Append(keys[i], vals[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				reqs[i] = storage.ValueReadReq{Off: off, N: n}
+			}
+			// A bogus request must come back nil without disturbing others.
+			reqs = append(reqs, storage.ValueReadReq{Off: 1 << 40, N: 64})
+			if err := l.ReadRecordsBatch(reqs); err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if reqs[i].Rec == nil {
+					t.Fatalf("request %d unresolved", i)
+				}
+				val, ok := storage.VerifyRecord(reqs[i].Rec, keys[i])
+				if !ok || !bytes.Equal(val, vals[i]) {
+					t.Fatalf("request %d verification failed", i)
+				}
+			}
+			if reqs[200].Rec != nil {
+				t.Fatal("out-of-range request resolved")
+			}
+		})
+	}
+}
+
+func TestValueLogWrapInvalidatesOldRecords(t *testing.T) {
+	for name, dev := range vlogDevices(t, 256<<10) {
+		t.Run(name, func(t *testing.T) {
+			l, err := storage.NewValueLog(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			val := bytes.Repeat([]byte{0xAB}, 4000)
+			firstKey := []byte("first-record")
+			firstOff, firstN, err := l.Append(firstKey, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fill several times the capacity so the head laps the first
+			// record repeatedly.
+			var lastOff int64
+			var lastN int
+			lastKey := []byte("last-record")
+			for i := 0; l.Stats().Wraps < 3; i++ {
+				key := []byte(fmt.Sprintf("filler-%06d", i))
+				if _, _, err := l.Append(key, val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if lastOff, lastN, err = l.Append(lastKey, val); err != nil {
+				t.Fatal(err)
+			}
+
+			// The overwritten record must read as a verification miss, not
+			// as wrong bytes.
+			rec, ok, err := l.ReadRecord(firstOff, firstN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				if _, verified := storage.VerifyRecord(rec, firstKey); verified {
+					t.Fatal("lapped record still verifies under its key")
+				}
+			}
+			// The newest record is intact.
+			rec, ok, err = l.ReadRecord(lastOff, lastN)
+			if err != nil || !ok {
+				t.Fatalf("newest record unreadable: %v %v", ok, err)
+			}
+			if got, verified := storage.VerifyRecord(rec, lastKey); !verified || !bytes.Equal(got, val) {
+				t.Fatal("newest record failed verification after wraps")
+			}
+		})
+	}
+}
+
+// TestValueLogStraddlingFlushFrontier pins the three-way read split: a
+// record partly written to the device and partly still in the tail buffer
+// must read back whole, serially and batched.
+func TestValueLogStraddlingFlushFrontier(t *testing.T) {
+	dev := ssd.New(ssd.IntelX18M(), 1<<20, vclock.New())
+	l, err := storage.NewValueLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One record bigger than the flush threshold: appending it flushes its
+	// leading pages, leaving its tail buffered.
+	key := []byte("straddler")
+	val := bytes.Repeat([]byte{0x5C}, 70<<10)
+	off, n, err := l.Append(key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.BufferedBytes == 0 || st.BufferedBytes >= int64(n) {
+		t.Fatalf("expected a partially flushed record, buffered=%d of %d", st.BufferedBytes, n)
+	}
+	rec, ok, err := l.ReadRecord(off, n)
+	if err != nil || !ok {
+		t.Fatalf("straddling read: %v %v", ok, err)
+	}
+	if got, verified := storage.VerifyRecord(rec, key); !verified || !bytes.Equal(got, val) {
+		t.Fatal("straddling record corrupted")
+	}
+	reqs := []storage.ValueReadReq{{Off: off, N: n}}
+	if err := l.ReadRecordsBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got, verified := storage.VerifyRecord(reqs[0].Rec, key); !verified || !bytes.Equal(got, val) {
+		t.Fatal("batched straddling record corrupted")
+	}
+}
+
+func TestValueLogRejectsOversizeRecord(t *testing.T) {
+	// The SSD rounds capacity up to whole erase blocks, so size the record
+	// off the log's reported capacity rather than the requested bytes.
+	dev := ssd.New(ssd.IntelX18M(), 64<<10, vclock.New())
+	l, err := storage.NewValueLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]byte("k"), make([]byte, l.Capacity())); err == nil {
+		t.Fatal("accepted a record larger than the log")
+	}
+}
+
+func TestValueLogUnwrittenRegionReadsAsMiss(t *testing.T) {
+	dev := ssd.New(ssd.IntelX18M(), 1<<20, vclock.New())
+	l, err := storage.NewValueLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Past the head on an unwrapped log: never written.
+	if _, ok, err := l.ReadRecord(512<<10, 64); err != nil || ok {
+		t.Fatalf("unwritten region readable: ok=%v err=%v", ok, err)
+	}
+}

@@ -7,16 +7,16 @@ import "fmt"
 // A token is either a literal chunk (new content) or a fingerprint
 // reference to a chunk the receiver already holds.
 type Token struct {
-	// Ref is the fingerprint of a previously transmitted chunk, or 0 for
-	// a literal token.
-	Ref uint64
+	// Ref is the SHA-1 fingerprint of a previously transmitted chunk, or
+	// nil for a literal token.
+	Ref []byte
 	// Literal holds the chunk bytes for literal tokens.
 	Literal []byte
 }
 
 // WireBytes returns the token's on-wire size.
 func (t Token) WireBytes() int {
-	if t.Ref != 0 {
+	if t.Ref != nil {
 		return RefBytes
 	}
 	return len(t.Literal)
@@ -33,15 +33,15 @@ func (o *Optimizer) Encode(data []byte) []Token {
 	// Literals already emitted in THIS stream are referenceable too (the
 	// receiver caches them on arrival), matching Process's behaviour of
 	// inserting fingerprints as it walks the object.
-	seen := make(map[uint64]bool)
+	seen := make(map[[FingerprintBytes]byte]bool)
 	for _, chunk := range chunks {
 		fp := Fingerprint(chunk)
 		if seen[fp] {
-			tokens = append(tokens, Token{Ref: fp})
+			tokens = append(tokens, Token{Ref: append([]byte(nil), fp[:]...)})
 			continue
 		}
-		if _, found, err := o.cfg.Index.Lookup(fp); err == nil && found {
-			tokens = append(tokens, Token{Ref: fp})
+		if _, found, err := o.cfg.Index.Get(fp[:]); err == nil && found {
+			tokens = append(tokens, Token{Ref: append([]byte(nil), fp[:]...)})
 			continue
 		}
 		lit := make([]byte, len(chunk))
@@ -58,12 +58,12 @@ func (o *Optimizer) Encode(data []byte) []Token {
 // WAN optimizers pair FIFO content stores on both sides, §5.1.2); the
 // simulation keeps it unbounded for verification.
 type Receiver struct {
-	chunks map[uint64][]byte
+	chunks map[string][]byte
 }
 
 // NewReceiver returns an empty receiver.
 func NewReceiver() *Receiver {
-	return &Receiver{chunks: make(map[uint64][]byte)}
+	return &Receiver{chunks: make(map[string][]byte)}
 }
 
 // ChunkCount returns the number of cached chunks.
@@ -74,19 +74,19 @@ func (r *Receiver) ChunkCount() int { return len(r.chunks) }
 func (r *Receiver) Reconstruct(tokens []Token) ([]byte, error) {
 	var out []byte
 	for i, t := range tokens {
-		if t.Ref == 0 {
+		if t.Ref == nil {
 			out = append(out, t.Literal...)
 			fp := Fingerprint(t.Literal)
-			if _, ok := r.chunks[fp]; !ok {
+			if _, ok := r.chunks[string(fp[:])]; !ok {
 				lit := make([]byte, len(t.Literal))
 				copy(lit, t.Literal)
-				r.chunks[fp] = lit
+				r.chunks[string(fp[:])] = lit
 			}
 			continue
 		}
-		chunk, ok := r.chunks[t.Ref]
+		chunk, ok := r.chunks[string(t.Ref)]
 		if !ok {
-			return nil, fmt.Errorf("wanopt: token %d references unknown chunk %#x", i, t.Ref)
+			return nil, fmt.Errorf("wanopt: token %d references unknown chunk %x", i, t.Ref)
 		}
 		out = append(out, chunk...)
 	}

@@ -57,7 +57,7 @@ func TestEndToEndReconstruction(t *testing.T) {
 
 func TestReconstructUnknownRef(t *testing.T) {
 	rx := NewReceiver()
-	if _, err := rx.Reconstruct([]Token{{Ref: 12345}}); err == nil {
+	if _, err := rx.Reconstruct([]Token{{Ref: []byte("no-such-chunk-fp-123")}}); err == nil {
 		t.Fatal("unknown reference accepted")
 	}
 }
@@ -71,7 +71,7 @@ func TestReconstructEmpty(t *testing.T) {
 }
 
 func TestTokenWireBytes(t *testing.T) {
-	if (Token{Ref: 1}).WireBytes() != RefBytes {
+	if (Token{Ref: make([]byte, FingerprintBytes)}).WireBytes() != RefBytes {
 		t.Fatal("ref token size")
 	}
 	if (Token{Literal: make([]byte, 100)}).WireBytes() != 100 {

@@ -29,16 +29,51 @@ import (
 	"repro/internal/vclock"
 )
 
-// Index is the fingerprint store interface: CLAM, bdb.HashIndex and
-// bdb.BTree all satisfy it via small adapters.
+// Index is the fingerprint store interface: full SHA-1 fingerprints map
+// to cache references. A byte-keyed clam.Store satisfies it directly;
+// legacy 64-bit indexes (the Berkeley-DB baselines) attach through
+// Truncated, which keeps only the top 8 fingerprint bytes — the compromise
+// the paper's 32–64 bit fingerprints made and that this repository's old
+// uint64-only API forced on everyone.
 type Index interface {
+	Put(fp, ref []byte) error
+	Get(fp []byte) ([]byte, bool, error)
+}
+
+// U64Index is the legacy 64-bit surface of the Berkeley-DB baselines.
+type U64Index interface {
 	Insert(key, value uint64) error
 	Lookup(key uint64) (uint64, bool, error)
 }
 
-// RefBytes is the on-wire size of a reference to a cached chunk
-// (fingerprint + offset metadata).
-const RefBytes = 20
+// Truncated adapts a U64Index to Index by truncating fingerprints to
+// their top 8 bytes and dropping the reference payload.
+type Truncated struct{ U64 U64Index }
+
+// truncFP folds a fingerprint to the legacy 64-bit key space.
+func truncFP(fp []byte) uint64 {
+	k := binary.BigEndian.Uint64(fp[:8])
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// Put implements Index.
+func (t Truncated) Put(fp, ref []byte) error { return t.U64.Insert(truncFP(fp), uint64(len(ref))) }
+
+// Get implements Index.
+func (t Truncated) Get(fp []byte) ([]byte, bool, error) {
+	_, ok, err := t.U64.Lookup(truncFP(fp))
+	return nil, ok, err
+}
+
+// FingerprintBytes is the size of a chunk fingerprint (SHA-1).
+const FingerprintBytes = sha1.Size
+
+// RefBytes is the on-wire size of a reference to a cached chunk (its
+// SHA-1 fingerprint).
+const RefBytes = FingerprintBytes
 
 // Config assembles a WAN optimizer.
 type Config struct {
@@ -108,15 +143,18 @@ func New(cfg Config) (*Optimizer, error) {
 // Stats returns aggregate counters.
 func (o *Optimizer) Stats() Stats { return o.stats }
 
-// Fingerprint hashes a chunk to its 64-bit index key (the top bytes of its
-// SHA-1, as the paper's 32–64 bit fingerprints).
-func Fingerprint(chunk []byte) uint64 {
-	sum := sha1.Sum(chunk)
-	fp := binary.BigEndian.Uint64(sum[:8])
-	if fp == 0 {
-		fp = 1
-	}
-	return fp
+// Fingerprint hashes a chunk to its full SHA-1 index key.
+func Fingerprint(chunk []byte) [FingerprintBytes]byte {
+	return sha1.Sum(chunk)
+}
+
+// cacheRef encodes a content-cache reference — the chunk's disk address
+// and length, the record the index stores per fingerprint.
+func cacheRef(addr uint64, n int) []byte {
+	ref := make([]byte, 12)
+	binary.LittleEndian.PutUint64(ref[0:8], addr)
+	binary.LittleEndian.PutUint32(ref[8:12], uint32(n))
+	return ref
 }
 
 // ObjectResult reports the processing of one object.
@@ -154,7 +192,7 @@ func (o *Optimizer) Process(data []byte) (ObjectResult, error) {
 	for _, chunk := range chunks {
 		fp := Fingerprint(chunk)
 		idxW := clock.StartWatch()
-		_, found, err := o.cfg.Index.Lookup(fp)
+		_, found, err := o.cfg.Index.Get(fp[:])
 		o.stats.IndexLookups++
 		if err != nil {
 			return res, fmt.Errorf("wanopt: index lookup: %w", err)
@@ -186,7 +224,7 @@ func (o *Optimizer) Process(data []byte) (ObjectResult, error) {
 		}
 		o.writePos += int64(len(chunk))
 		o.stats.CacheWriteBytes += int64(len(chunk))
-		if err := o.cfg.Index.Insert(fp, addr); err != nil {
+		if err := o.cfg.Index.Put(fp[:], cacheRef(addr, len(chunk))); err != nil {
 			return res, fmt.Errorf("wanopt: index insert: %w", err)
 		}
 		o.stats.IndexInserts++

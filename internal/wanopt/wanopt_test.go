@@ -13,13 +13,13 @@ import (
 )
 
 // mapIndex is an in-memory Index for unit tests of the optimizer logic.
-type mapIndex struct{ m map[uint64]uint64 }
+type mapIndex struct{ m map[string][]byte }
 
-func newMapIndex() *mapIndex { return &mapIndex{m: map[uint64]uint64{}} }
+func newMapIndex() *mapIndex { return &mapIndex{m: map[string][]byte{}} }
 
-func (m *mapIndex) Insert(k, v uint64) error { m.m[k] = v; return nil }
-func (m *mapIndex) Lookup(k uint64) (uint64, bool, error) {
-	v, ok := m.m[k]
+func (m *mapIndex) Put(fp, ref []byte) error { m.m[string(fp)] = ref; return nil }
+func (m *mapIndex) Get(fp []byte) ([]byte, bool, error) {
+	v, ok := m.m[string(fp)]
 	return v, ok, nil
 }
 
@@ -45,10 +45,10 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestFingerprintNonZeroDeterministic(t *testing.T) {
+func TestFingerprintDeterministic(t *testing.T) {
 	a := Fingerprint([]byte("hello"))
-	if a == 0 {
-		t.Fatal("zero fingerprint")
+	if len(a) != FingerprintBytes {
+		t.Fatalf("fingerprint is %d bytes", len(a))
 	}
 	if a != Fingerprint([]byte("hello")) {
 		t.Fatal("non-deterministic")
@@ -123,7 +123,7 @@ func TestThroughputImprovementAtLowSpeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := newOptimizer(t, idx, clock, 10)
+	o := newOptimizer(t, Truncated{idx}, clock, 10)
 	tr := workload.GenerateTrace(workload.TraceConfig{
 		Objects: 20, MeanObjectBytes: 256 << 10, Redundancy: 0.5, Seed: 3,
 	})
@@ -153,16 +153,16 @@ func TestCLAMBeatsBDBAtHighSpeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ob := newOptimizer(t, bidx, clockB, 200)
+	ob := newOptimizer(t, Truncated{bidx}, clockB, 200)
 	resB, err := RunThroughputTest(ob, trace())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	clockC := vclock.New()
-	cl, err := clam.Open(clam.Options{
-		Device: clam.TranscendSSD, FlashBytes: 64 << 20, MemoryBytes: 8 << 20, Clock: clockC,
-	})
+	cl, err := clam.Open(
+		clam.WithDevice(clam.TranscendSSD),
+		clam.WithFlash(64<<20), clam.WithMemory(8<<20), clam.WithClock(clockC))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,9 +188,9 @@ func TestCLAMBeatsBDBAtHighSpeed(t *testing.T) {
 
 func TestLoadTestPerObject(t *testing.T) {
 	clock := vclock.New()
-	cl, err := clam.Open(clam.Options{
-		Device: clam.TranscendSSD, FlashBytes: 32 << 20, MemoryBytes: 8 << 20, Clock: clock,
-	})
+	cl, err := clam.Open(
+		clam.WithDevice(clam.TranscendSSD),
+		clam.WithFlash(32<<20), clam.WithMemory(8<<20), clam.WithClock(clock))
 	if err != nil {
 		t.Fatal(err)
 	}
