@@ -233,8 +233,9 @@ func (s *Sharded) Stats() Stats {
 	ins := make([]*metrics.Histogram, 0, len(s.shards))
 	lk := make([]*metrics.Histogram, 0, len(s.shards))
 	del := make([]*metrics.Histogram, 0, len(s.shards))
+	wr := make([]*metrics.Histogram, 0, len(s.shards))
 	for _, c := range s.shards {
-		cs, hi, hl, hd := c.snapshot()
+		cs, hi, hl, hd, hw := c.snapshot()
 		agg.Core.Merge(cs.Core)
 		agg.Device.Add(cs.Device)
 		agg.ValueDevice.Add(cs.ValueDevice)
@@ -243,15 +244,17 @@ func (s *Sharded) Stats() Stats {
 		ins = append(ins, hi)
 		lk = append(lk, hl)
 		del = append(del, hd)
+		wr = append(wr, hw)
 	}
 	agg.InsertLatency = metrics.Merged(ins...).Summarize()
 	agg.LookupLatency = metrics.Merged(lk...).Summarize()
 	agg.DeleteLatency = metrics.Merged(del...).Summarize()
+	agg.WriteLatency = metrics.Merged(wr...).Summarize()
 	return agg
 }
 
 // snapshot copies one shard's metric state under its lock.
-func (c *CLAM) snapshot() (Stats, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram) {
+func (c *CLAM) snapshot() (Stats, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram, *metrics.Histogram) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
@@ -263,8 +266,8 @@ func (c *CLAM) snapshot() (Stats, *metrics.Histogram, *metrics.Histogram, *metri
 		st.ValueDevice = c.vlog.Device().Counters()
 		st.ValueLog = c.vlog.Stats()
 	}
-	hi, hl, hd := c.insert, c.lookup, c.del
-	return st, &hi, &hl, &hd
+	hi, hl, hd, hw := c.insert, c.lookup, c.del, c.write
+	return st, &hi, &hl, &hd, &hw
 }
 
 // --- batch grouping and the chunked batch router ---
@@ -273,10 +276,19 @@ func (c *CLAM) snapshot() (Stats, *metrics.Histogram, *metrics.Histogram, *metri
 // shard with a counting sort: shard sh owns idx[start[sh]:start[sh+1]], in
 // input order. cur is the router's per-shard consumption cursor. Instances
 // are pooled on the Sharded because batches run concurrently.
+//
+// Mutation batches don't need to scatter results back to input positions,
+// so groupPairsByShard skips the index layer entirely: keys (and values)
+// are bucketed directly into contiguous per-shard runs held in kbuf/vbuf,
+// and each router chunk is a zero-copy slice of those runs.
 type shardGroups struct {
 	idx   []int
 	start []int
 	cur   []int
+	kbuf  []uint64
+	vbuf  []uint64
+	bkbuf [][]byte
+	bvbuf [][]byte
 }
 
 // groupByShard buckets key indices by owning shard via a two-pass counting
@@ -314,7 +326,80 @@ func (s *Sharded) groupByShard(keys []uint64) *shardGroups {
 	return g
 }
 
-func (s *Sharded) putGroups(g *shardGroups) { s.groups.Put(g) }
+func (s *Sharded) putGroups(g *shardGroups) {
+	// Drop the byte-slice references before pooling: a retained shardGroups
+	// must not pin the previous batch's keys and values in memory.
+	clear(g.bkbuf)
+	clear(g.bvbuf)
+	s.groups.Put(g)
+}
+
+// groupPairsByShard buckets a mutation batch's keys — and, when values is
+// non-nil, the parallel values — directly into per-shard contiguous runs
+// (shard sh owns kbuf[start[sh]:start[sh+1]], in input order). Byte
+// batches pass their fingerprints as keys and bucket the byte slices
+// through bk/bv. One scatter pass replaces the index sort plus the
+// per-chunk gather copy of the lookup path, which must keep indices to
+// scatter results back.
+func (s *Sharded) groupPairsByShard(keys, values []uint64, bk, bv [][]byte) *shardGroups {
+	n := len(s.shards)
+	g, _ := s.groups.Get().(*shardGroups)
+	if g == nil {
+		g = &shardGroups{start: make([]int, n+1), cur: make([]int, n)}
+	}
+	if cap(g.kbuf) < len(keys) {
+		g.kbuf = make([]uint64, len(keys))
+	}
+	g.kbuf = g.kbuf[:len(keys)]
+	if values != nil {
+		if cap(g.vbuf) < len(values) {
+			g.vbuf = make([]uint64, len(values))
+		}
+		g.vbuf = g.vbuf[:len(values)]
+	}
+	if bk != nil {
+		if cap(g.bkbuf) < len(bk) {
+			g.bkbuf = make([][]byte, len(bk))
+		}
+		g.bkbuf = g.bkbuf[:len(bk)]
+	}
+	if bv != nil {
+		if cap(g.bvbuf) < len(bv) {
+			g.bvbuf = make([][]byte, len(bv))
+		}
+		g.bvbuf = g.bvbuf[:len(bv)]
+	}
+	for i := range g.cur {
+		g.cur[i] = 0
+	}
+	for _, k := range keys {
+		g.cur[s.shardIndex(k)]++
+	}
+	g.start[0] = 0
+	for i := 0; i < n; i++ {
+		g.start[i+1] = g.start[i] + g.cur[i]
+		g.cur[i] = g.start[i]
+	}
+	for i, k := range keys {
+		sh := s.shardIndex(k)
+		at := g.cur[sh]
+		g.cur[sh]++
+		g.kbuf[at] = k
+		if values != nil {
+			g.vbuf[at] = values[i]
+		}
+		if bk != nil {
+			g.bkbuf[at] = bk[i]
+		}
+		if bv != nil {
+			g.bvbuf[at] = bv[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.cur[i] = g.start[i] // rewind: cur becomes the router's cursor
+	}
+	return g
+}
 
 // active returns the shards that received work (bench/legacy path only;
 // the router walks start directly).
@@ -353,6 +438,16 @@ func (g *shardGroups) active() []int {
 // all errors are joined — matching the old dispatch's "every shard is
 // attempted" contract.
 func (s *Sharded) runChunked(ctx context.Context, g *shardGroups, run func(worker, shard int, idxs []int) error) error {
+	return s.runChunkedRanges(ctx, g, func(w, shard, lo, hi int) error {
+		return run(w, shard, g.idx[lo:hi])
+	})
+}
+
+// runChunkedRanges is the range form of the router: callbacks receive the
+// chunk as a [lo, hi) range of the shard's group, which bucketed mutation
+// batches slice directly out of the grouped key/value runs (no index
+// layer) and index-based callers resolve through g.idx.
+func (s *Sharded) runChunkedRanges(ctx context.Context, g *shardGroups, run func(worker, shard, lo, hi int) error) error {
 	var ready []int
 	remaining := 0
 	for sh := 0; sh+1 < len(g.start); sh++ {
@@ -377,7 +472,7 @@ func (s *Sharded) runChunked(ctx context.Context, g *shardGroups, run func(worke
 				}
 				lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
 				g.cur[sh] = hi
-				if err := run(0, sh, g.idx[lo:hi]); err != nil {
+				if err := run(0, sh, lo, hi); err != nil {
 					errs = append(errs, err)
 					break // abandon this shard's remaining chunks
 				}
@@ -411,7 +506,7 @@ func (s *Sharded) runChunked(ctx context.Context, g *shardGroups, run func(worke
 					lo, hi := g.cur[sh], min(g.cur[sh]+s.chunk, g.start[sh+1])
 					g.cur[sh] = hi
 					mu.Unlock()
-					err := run(w, sh, g.idx[lo:hi])
+					err := run(w, sh, lo, hi)
 					mu.Lock()
 					if err != nil {
 						errs[w] = append(errs[w], err)
@@ -438,23 +533,20 @@ func (s *Sharded) runChunked(ctx context.Context, g *shardGroups, run func(worke
 // --- U64 batches ---
 
 // PutBatchU64 inserts len(keys) mappings, grouped by shard and dispatched
-// through the chunked batch router. Within a shard the batch preserves
-// input order; across shards there is no ordering. On error (or
+// through the chunked batch router. Each chunk runs the core batched
+// insert pipeline on its shard: buffer updates apply in order with one
+// deferred CPU advance, and every flush the chunk triggers is issued as
+// one address-sorted overlapped write submission. Within a shard the batch
+// preserves input order; across shards there is no ordering. On error (or
 // cancellation) the batch may be partially applied; all errors are joined.
 func (s *Sharded) PutBatchU64(ctx context.Context, keys, values []uint64) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("clam: PutBatchU64 length mismatch: %d keys, %d values", len(keys), len(values))
 	}
-	g := s.groupByShard(keys)
+	g := s.groupPairsByShard(keys, values, nil, nil)
 	defer s.putGroups(g)
-	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
-		c := s.shards[shard]
-		for _, i := range idxs {
-			if err := c.PutU64(keys[i], values[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+	return s.runChunkedRanges(ctx, g, func(_, shard, lo, hi int) error {
+		return s.shards[shard].putBatchU64Chunk(g.kbuf[lo:hi], g.vbuf[lo:hi])
 	})
 }
 
@@ -481,6 +573,10 @@ func (s *Sharded) GetBatchU64(ctx context.Context, keys []uint64) (values []uint
 		for _, i := range idxs {
 			kb = append(kb, keys[i])
 		}
+		gs.keys = kb
+		if cap(gs.res) < len(idxs) {
+			gs.res = make([]core.LookupResult, max(len(idxs), s.chunk))
+		}
 		rb := gs.res[:len(idxs)]
 		if err := s.shards[shard].getBatchU64Into(kb, rb); err != nil {
 			return err
@@ -497,31 +593,24 @@ func (s *Sharded) GetBatchU64(ctx context.Context, keys []uint64) (values []uint
 }
 
 // DeleteBatchU64 lazily removes len(keys) keys, grouped and dispatched like
-// PutBatchU64.
+// PutBatchU64, with each chunk applied as one batched core delete.
 func (s *Sharded) DeleteBatchU64(ctx context.Context, keys []uint64) error {
-	g := s.groupByShard(keys)
+	g := s.groupPairsByShard(keys, nil, nil, nil)
 	defer s.putGroups(g)
-	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
-		c := s.shards[shard]
-		for _, i := range idxs {
-			if err := c.DeleteU64(keys[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+	return s.runChunkedRanges(ctx, g, func(_, shard, lo, hi int) error {
+		return s.shards[shard].deleteBatchU64Chunk(g.kbuf[lo:hi])
 	})
 }
 
-// workerScratch lazily binds a pooled gatherScratch to worker w.
+// workerScratch lazily binds a pooled gatherScratch to worker w. Only the
+// key gather buffer is sized eagerly; the other buffers grow on the paths
+// that use them, so put/delete batches never allocate lookup scratch.
 func (s *Sharded) workerScratch(scratch []*gatherScratch, w int) *gatherScratch {
 	gs := scratch[w]
 	if gs == nil {
 		gs, _ = s.gather.Get().(*gatherScratch)
 		if gs == nil || cap(gs.keys) < s.chunk {
-			gs = &gatherScratch{
-				keys: make([]uint64, 0, s.chunk),
-				res:  make([]core.LookupResult, s.chunk),
-			}
+			gs = &gatherScratch{keys: make([]uint64, 0, s.chunk)}
 		}
 		scratch[w] = gs
 	}
@@ -550,22 +639,21 @@ func (s *Sharded) fingerprints(keys [][]byte) []uint64 {
 }
 
 // PutBatch applies len(keys) byte Put operations through the chunked
-// router; see PutBatchU64 for ordering and error semantics.
+// router. Each chunk runs two overlapped write streams on its shard: the
+// chunk's records land in the value log as one tail-buffered multi-record
+// append (one sequential page submission), then its fingerprints and
+// record pointers run through the core batched insert pipeline with
+// overlapped flush writes — the write-side mirror of GetBatch's two read
+// streams. See PutBatchU64 for ordering and error semantics.
 func (s *Sharded) PutBatch(ctx context.Context, keys, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("clam: PutBatch length mismatch: %d keys, %d values", len(keys), len(values))
 	}
 	fps := s.fingerprints(keys)
-	g := s.groupByShard(fps)
+	g := s.groupPairsByShard(fps, nil, keys, values)
 	defer s.putGroups(g)
-	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
-		c := s.shards[shard]
-		for _, i := range idxs {
-			if err := c.putRecord(fps[i], keys[i], values[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+	return s.runChunkedRanges(ctx, g, func(_, shard, lo, hi int) error {
+		return s.shards[shard].putBatchRecords(g.kbuf[lo:hi], g.bkbuf[lo:hi], g.bvbuf[lo:hi])
 	})
 }
 
@@ -616,20 +704,67 @@ func (s *Sharded) GetBatch(ctx context.Context, keys [][]byte) (values [][]byte,
 }
 
 // DeleteBatch lazily removes len(keys) byte keys through the chunked
-// router.
+// router, applying each chunk as one batched core delete.
 func (s *Sharded) DeleteBatch(ctx context.Context, keys [][]byte) error {
+	fps := s.fingerprints(keys)
+	g := s.groupPairsByShard(fps, nil, nil, nil)
+	defer s.putGroups(g)
+	return s.runChunkedRanges(ctx, g, func(_, shard, lo, hi int) error {
+		return s.shards[shard].deleteBatchFPs(g.kbuf[lo:hi])
+	})
+}
+
+// --- existence probes ---
+
+// ContainsU64 reports whether a fast-path key is present on its shard.
+func (s *Sharded) ContainsU64(key uint64) (bool, error) {
+	return s.shard(key).ContainsU64(key)
+}
+
+// Contains reports whether a record is indexed under key on its
+// fingerprint's shard, with CLAM.Contains's no-record-read tradeoff.
+func (s *Sharded) Contains(key []byte) (bool, error) {
+	fp := fingerprint(key, s.fpSeed)
+	return s.shards[s.shardIndex(fp)].containsFP(fp)
+}
+
+// ContainsBatch probes len(keys) byte keys through the chunked router and
+// the batched index pipeline, returning per-key existence in input order.
+// No value-log records are read (Contains's tradeoff), so each chunk costs
+// exactly its overlapped index probes.
+func (s *Sharded) ContainsBatch(ctx context.Context, keys [][]byte) ([]bool, error) {
+	found := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return found, nil
+	}
 	fps := s.fingerprints(keys)
 	g := s.groupByShard(fps)
 	defer s.putGroups(g)
-	return s.runChunked(ctx, g, func(_, shard int, idxs []int) error {
-		c := s.shards[shard]
+	scratch := make([]*gatherScratch, s.workers)
+	defer s.releaseScratch(scratch)
+	err := s.runChunked(ctx, g, func(w, shard int, idxs []int) error {
+		gs := s.workerScratch(scratch, w)
+		fb := gs.keys[:0]
 		for _, i := range idxs {
-			if err := c.deleteFP(fps[i]); err != nil {
-				return err
-			}
+			fb = append(fb, fps[i])
+		}
+		gs.keys = fb
+		if cap(gs.bfound) < len(idxs) {
+			gs.bfound = make([]bool, max(len(idxs), s.chunk))
+		}
+		ob := gs.bfound[:len(idxs)]
+		if err := s.shards[shard].containsBatchFPs(fb, ob); err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			found[i] = ob[j]
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
 }
 
 // getBatchU64PerKey is the PR-1 batch path — whole shard groups dispatched

@@ -77,6 +77,23 @@ type Store interface {
 	// DeleteBatch applies len(keys) Delete operations, batched.
 	DeleteBatch(ctx context.Context, keys [][]byte) error
 
+	// Contains reports whether a record is indexed under key, stopping at
+	// the index hit and skipping the value-log verification read — the
+	// existence probe dedup-style workloads want. It accepts the
+	// fingerprint-collision (and lapped-record) false positive rate the
+	// paper accepts at 32–64-bit fingerprints; deleted keys read false.
+	Contains(key []byte) (bool, error)
+	// ContainsU64 reports whether a fast-path key is present (GetU64
+	// without the value). On a store driven purely through the fast path
+	// the probe is exact; on a store mixing both key families, a byte
+	// record whose fingerprint equals key also counts as present (the two
+	// families inhabit one table, see the interface comment).
+	ContainsU64(key uint64) (bool, error)
+	// ContainsBatch probes len(keys) keys through the batched index
+	// pipeline with Contains's tradeoff, returning per-key existence in
+	// input order.
+	ContainsBatch(ctx context.Context, keys [][]byte) ([]bool, error)
+
 	// PutU64 adds or updates a mapping on the 64-bit fast path.
 	PutU64(key, value uint64) error
 	// GetU64 returns the latest fast-path value stored under key.

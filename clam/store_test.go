@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -248,5 +249,158 @@ func TestU64AndByteFamiliesCoexist(t *testing.T) {
 				t.Fatalf("%s: byte key %d: (%d bytes, %v)", st.name, i, len(v), ok)
 			}
 		}
+	}
+}
+
+// TestContainsSemantics pins the existence-probe contract on both
+// implementations: agreement with Get for present/absent/deleted keys, no
+// value-log record reads, and the documented stale-pointer false positive
+// once the circular log laps a record.
+func TestContainsSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		open func() Store
+	}{
+		{"clam", func() Store {
+			return openCLAMT(t, WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20), WithSeed(91))
+		}},
+		{"sharded", func() Store {
+			return openShardedT(t, WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20),
+				WithSeed(91), WithShards(4))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.open()
+			ctx := context.Background()
+			keys := make([][]byte, 500)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("object-%04d", i))
+				if err := st.Put(keys[i], []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// U64 fast path: exact existence.
+			if err := st.PutU64(777, 42); err != nil {
+				t.Fatal(err)
+			}
+			if ok, err := st.ContainsU64(777); err != nil || !ok {
+				t.Fatalf("ContainsU64(present) = (%v, %v)", ok, err)
+			}
+			if ok, err := st.ContainsU64(778); err != nil || ok {
+				t.Fatalf("ContainsU64(absent) = (%v, %v)", ok, err)
+			}
+			// Byte probes agree with Get on present keys and skip the record
+			// read: the value-log device must not be touched by the probes.
+			vr0 := st.Stats().ValueDevice.Reads
+			for _, k := range keys[:100] {
+				if ok, err := st.Contains(k); err != nil || !ok {
+					t.Fatalf("Contains(%q) = (%v, %v)", k, ok, err)
+				}
+			}
+			found, err := st.ContainsBatch(ctx, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ok := range found {
+				if !ok {
+					t.Fatalf("ContainsBatch missed present key %d", i)
+				}
+			}
+			if vr := st.Stats().ValueDevice.Reads; vr != vr0 {
+				t.Fatalf("existence probes read the value log: %d -> %d device reads", vr0, vr)
+			}
+			// Absent and deleted keys read false.
+			if ok, _ := st.Contains([]byte("never-inserted")); ok {
+				t.Fatal("Contains(absent) = true")
+			}
+			if err := st.Delete(keys[0]); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := st.Contains(keys[0]); ok {
+				t.Fatal("Contains(deleted) = true")
+			}
+			// A U64 entry is not a byte-keyed record even if the fingerprint
+			// were probed directly (pointer tag unset).
+			if ok, _ := st.Contains([]byte{}); ok {
+				t.Fatal("Contains(empty never-inserted key) = true")
+			}
+		})
+	}
+}
+
+// TestContainsStalePointerTradeoff shows the accepted false positive: after
+// the value log laps a record, Get reads a miss (key verification) but
+// Contains still reports true from the index hit alone.
+func TestContainsStalePointerTradeoff(t *testing.T) {
+	st := openCLAMT(t, WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20),
+		WithValueLog(64<<10), WithSeed(92))
+	first := []byte("first-key")
+	if err := st.Put(first, bytes.Repeat([]byte{1}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Lap the tiny log so first's record is overwritten.
+	for i := 0; st.Stats().ValueLog.Wraps < 2; i++ {
+		k := []byte(fmt.Sprintf("filler-%06d", i))
+		if err := st.Put(k, bytes.Repeat([]byte{2}, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := st.Get(first); err != nil || ok {
+		t.Fatalf("Get(lapped) = (found=%v, %v), want miss", ok, err)
+	}
+	ok, err := st.Contains(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Contains(lapped) = false; the documented index-only tradeoff should report true")
+	}
+}
+
+// TestValueLogOccupancyStats exercises the live/dead accounting through the
+// Store surface: overwrites and deletes of buffered keys move bytes to the
+// dead side, and occupancy stays within [0, 1].
+func TestValueLogOccupancyStats(t *testing.T) {
+	st := openCLAMT(t, WithDevice(IntelSSD), WithFlash(8<<20), WithMemory(2<<20),
+		WithValueLog(1<<20), WithSeed(93))
+	val := bytes.Repeat([]byte{7}, 500)
+	for i := 0; i < 200; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("k-%03d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := st.Stats().ValueLog
+	if s1.LiveBytes == 0 || s1.DeadBytes != 0 {
+		t.Fatalf("after fresh puts: %+v", s1)
+	}
+	if s1.Capacity != 1<<20 {
+		t.Fatalf("capacity = %d, want %d", s1.Capacity, 1<<20)
+	}
+	if occ := s1.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+	// Overwrite half while their pointers are still buffered: their old
+	// records die.
+	for i := 0; i < 100; i++ {
+		if err := st.Put([]byte(fmt.Sprintf("k-%03d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := st.Stats().ValueLog
+	if s2.DeadBytes == 0 {
+		t.Fatalf("overwrites marked nothing dead: %+v", s2)
+	}
+	// Delete the other half: more dead bytes, fewer live.
+	for i := 100; i < 200; i++ {
+		if err := st.Delete([]byte(fmt.Sprintf("k-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s3 := st.Stats().ValueLog
+	if s3.DeadBytes <= s2.DeadBytes || s3.LiveBytes >= s2.LiveBytes {
+		t.Fatalf("deletes did not move bytes to the dead side: %+v -> %+v", s2, s3)
+	}
+	if lf := s3.LiveFraction(); lf < 0 || lf > 1 {
+		t.Fatalf("live fraction = %v", lf)
 	}
 }

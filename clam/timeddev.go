@@ -1,0 +1,93 @@
+package clam
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// timedQueued instruments a device's write stream: every WriteAt records
+// its virtual service time, and every WriteBatch records its overlapped
+// total spread evenly over the batch's requests — so serial and batched
+// write paths produce directly comparable per-request samples. The
+// histogram feeds Stats.WriteLatency, the write-side tail the insert
+// pipeline is built to flatten (a serial flush pays one full write per
+// incarnation image; a batch's images share command setup and overlap
+// across queue lanes).
+//
+// Reads and erases pass through untimed. Every kind-built device model
+// implements BatchReader and BatchWriter, so the wrapper forwards both;
+// the Eraser and Trimmer optional interfaces are preserved by the variant
+// types below, because layout selection and NAND erase-before-write probe
+// for them through the device value. Caller-supplied custom devices are
+// never wrapped — their dynamic type is part of the caller's contract.
+type timedQueued struct {
+	dev storage.Device
+	br  storage.BatchReader
+	bw  storage.BatchWriter
+	h   *metrics.Histogram // guarded by the owning CLAM's mutex
+}
+
+func (d *timedQueued) ReadAt(p []byte, off int64) (time.Duration, error) {
+	return d.dev.ReadAt(p, off)
+}
+
+func (d *timedQueued) WriteAt(p []byte, off int64) (time.Duration, error) {
+	lat, err := d.dev.WriteAt(p, off)
+	if err == nil {
+		d.h.Observe(lat)
+	}
+	return lat, err
+}
+
+func (d *timedQueued) Geometry() storage.Geometry { return d.dev.Geometry() }
+func (d *timedQueued) Counters() storage.Counters { return d.dev.Counters() }
+func (d *timedQueued) ReadBatch(reqs []storage.ReadReq) (time.Duration, error) {
+	return d.br.ReadBatch(reqs)
+}
+
+func (d *timedQueued) WriteBatch(reqs []storage.WriteReq) (time.Duration, error) {
+	lat, err := d.bw.WriteBatch(reqs)
+	if err == nil && len(reqs) > 0 {
+		d.h.ObserveN(lat/time.Duration(len(reqs)), len(reqs))
+	}
+	return lat, err
+}
+
+// timedQueuedEraser additionally forwards Eraser (raw NAND): the layout
+// chooser and the value log's erase-before-write both probe for it.
+type timedQueuedEraser struct {
+	timedQueued
+	er storage.Eraser
+}
+
+func (d *timedQueuedEraser) Erase(off, n int64) (time.Duration, error) { return d.er.Erase(off, n) }
+
+// timedQueuedTrimmer additionally forwards Trimmer (SSDs).
+type timedQueuedTrimmer struct {
+	timedQueued
+	tr storage.Trimmer
+}
+
+func (d *timedQueuedTrimmer) Trim(off, n int64) error { return d.tr.Trim(off, n) }
+
+// timeWrites wraps a kind-built device with write-latency instrumentation,
+// preserving its optional interfaces. Devices without the queued batch
+// interfaces are returned unwrapped (never the case for kind-built
+// models).
+func timeWrites(dev storage.Device, h *metrics.Histogram) storage.Device {
+	br, brOK := dev.(storage.BatchReader)
+	bw, bwOK := dev.(storage.BatchWriter)
+	if !brOK || !bwOK {
+		return dev
+	}
+	base := timedQueued{dev: dev, br: br, bw: bw, h: h}
+	if er, ok := dev.(storage.Eraser); ok {
+		return &timedQueuedEraser{base, er}
+	}
+	if tr, ok := dev.(storage.Trimmer); ok {
+		return &timedQueuedTrimmer{base, tr}
+	}
+	return &base
+}

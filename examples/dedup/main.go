@@ -4,11 +4,16 @@
 // the CLAM at production scale.
 //
 // Fingerprints are full 20-byte SHA-1s stored with their variable-length
-// chunk locators through the byte-keyed Store API, and the CLAM merge runs
-// in batched windows whose index probes and value-log record fetches
-// overlap in the device's queue lanes. The BDB baseline keeps the old
-// compromise — fingerprints truncated to 8 bytes, locators dropped —
-// because its page-cache design has no batched submission path.
+// chunk locators through the byte-keyed Store API. The CLAM merge runs in
+// batched windows: the duplicate check is a batched existence probe
+// (Store.ContainsBatch) that stops at the overlapped index hit without
+// fetching the record — a duplicate misclassified by a colliding
+// fingerprint is the same outcome a real dedup system accepts — and the
+// new fingerprints land through the batched insert pipeline, whose
+// value-log appends and index flush writes each go out as one overlapped
+// submission. The BDB baseline keeps the old compromise — fingerprints
+// truncated to 8 bytes, locators dropped — because its page-cache design
+// has no batched submission path.
 package main
 
 import (

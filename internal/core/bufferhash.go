@@ -40,14 +40,29 @@ type BufferHash struct {
 	seq       uint64
 
 	imageSize int
-	scratch   []byte // flush serialization buffer (live during flush)
-	imageBuf  []byte // partial-discard image scan buffer (live during evictOldest)
+	imgPool   [][]byte // free image-sized buffers (flush serialization, eviction scans)
 	pageBuf   []byte
 	batch     batchScratch
+	insert    insertScratch
+
+	// deferWrites redirects incarnation writes into `staged` instead of the
+	// device (InsertBatch phase B); staged images are address-sorted and
+	// issued as one overlapped BatchWriter submission at the end of the
+	// batch. While a write is staged, readImage serves its address from the
+	// staged buffer, so partial-discard scans inside the same batch see the
+	// bytes the device will eventually hold.
+	deferWrites bool
+	staged      []stagedWrite
 
 	// deferCPU batches chargeCPU calls into cpuDebt (see LookupBatch).
 	deferCPU bool
 	cpuDebt  time.Duration
+}
+
+// stagedWrite is one deferred incarnation write.
+type stagedWrite struct {
+	buf  []byte
+	addr int64
 }
 
 // New builds a BufferHash over the configured device. The configuration is
@@ -86,7 +101,6 @@ func New(cfg Config) (*BufferHash, error) {
 			b.slotOwner[i] = -1
 		}
 	}
-	b.scratch = make([]byte, b.imageSize)
 	b.pageBuf = make([]byte, cfg.Device.Geometry().PageSize)
 	return b, nil
 }
@@ -102,8 +116,73 @@ func (b *BufferHash) newSliceBank(m uint64, h int) filterBank {
 	return bitslice.NewBank(m, b.cfg.NumIncarnations, h)
 }
 
-// scratchImage returns the shared serialization buffer.
-func (b *BufferHash) scratchImage() []byte { return b.scratch }
+// maxPooledImages caps how many free image buffers are retained between
+// batches; beyond that, buffers are dropped to the garbage collector so a
+// pathological cascade's high-water mark is not held forever.
+const maxPooledImages = 16
+
+// acquireImage returns an image-sized buffer from the pool (or a fresh
+// one). Flush serialization and eviction scans each own a distinct buffer
+// until they release it, so a flush can never alias a scan in progress.
+func (b *BufferHash) acquireImage() []byte {
+	if n := len(b.imgPool); n > 0 {
+		img := b.imgPool[n-1]
+		b.imgPool = b.imgPool[:n-1]
+		return img
+	}
+	return make([]byte, b.imageSize)
+}
+
+// releaseImage returns an image buffer to the pool.
+func (b *BufferHash) releaseImage(img []byte) {
+	if len(b.imgPool) < maxPooledImages {
+		b.imgPool = append(b.imgPool, img)
+	}
+}
+
+// stageWrite defers an incarnation write until the end of the insert
+// batch. A second image staged at the same address replaces the first: the
+// slot was recycled within the batch, so the earlier image is dead, nothing
+// can read it anymore, and on raw flash the slot's erase has already been
+// issued for the newer image.
+func (b *BufferHash) stageWrite(img []byte, addr int64) {
+	for i := range b.staged {
+		if b.staged[i].addr == addr {
+			b.releaseImage(b.staged[i].buf)
+			b.staged[i].buf = img
+			return
+		}
+	}
+	b.staged = append(b.staged, stagedWrite{buf: img, addr: addr})
+}
+
+// flushStaged issues every staged incarnation write as one address-sorted
+// overlapped submission through the device's BatchWriter (plain devices
+// fall back to a sorted serial loop) and recycles the image buffers.
+func (b *BufferHash) flushStaged() error {
+	if len(b.staged) == 0 {
+		return nil
+	}
+	is := &b.insert
+	is.reqs = is.reqs[:0]
+	for _, s := range b.staged {
+		is.reqs = append(is.reqs, storage.WriteReq{P: s.buf, Off: s.addr})
+	}
+	var err error
+	if bw, ok := b.cfg.Device.(storage.BatchWriter); ok {
+		_, err = bw.WriteBatch(is.reqs)
+	} else {
+		_, err = storage.WriteBatchFallback(b.cfg.Device, is.reqs)
+	}
+	for _, s := range b.staged {
+		b.releaseImage(s.buf)
+	}
+	b.staged = b.staged[:0]
+	if err != nil {
+		return fmt.Errorf("core: batched incarnation write: %w", err)
+	}
+	return nil
+}
 
 // chargeCPU advances the virtual clock by a CPU cost. During the batched
 // lookup pipeline's memory phase the charges accrue into one deferred
@@ -202,16 +281,24 @@ func (b *BufferHash) readProbe(st *superTable, inc incarnation, kh uint64) ([]by
 }
 
 // readImage reads a whole incarnation image (partial-discard scan path)
-// into a per-BufferHash scratch buffer. The buffer is distinct from
-// `scratch`, which is live during flush — the caller scans the image while
-// the flush path may still serialize into `scratch` — and is only valid
-// until the next readImage call.
+// into a pooled buffer owned by the caller, who returns it with
+// releaseImage when the scan is done. Each call gets a distinct buffer, so
+// an image stays valid across interleaved flushes and further reads.
+// During a batched insert, an address whose write is still staged is
+// served from the staged buffer — the bytes the device will hold once the
+// batch issues — without a device read.
 func (b *BufferHash) readImage(addr int64) ([]byte, error) {
-	if b.imageBuf == nil {
-		b.imageBuf = make([]byte, b.imageSize)
+	img := b.acquireImage()
+	if b.deferWrites {
+		for i := range b.staged {
+			if b.staged[i].addr == addr {
+				copy(img, b.staged[i].buf)
+				return img, nil
+			}
+		}
 	}
-	img := b.imageBuf
 	if _, err := b.cfg.Device.ReadAt(img, addr); err != nil {
+		b.releaseImage(img)
 		return nil, fmt.Errorf("core: image read: %w", err)
 	}
 	return img, nil

@@ -23,6 +23,14 @@
 // path's newest-first, stop-on-hit semantics. Counters are identical
 // between the two paths; only time (and physical read count, via dedupe)
 // differs. See batch.go.
+//
+// Inserts mirror that shape. Insert is the serial path: buffer update,
+// with a full buffer flushed to flash as a blocking incarnation write.
+// InsertBatch applies a whole batch with flush writes deferred into pooled
+// image buffers, then issues them as one address-sorted storage.BatchWriter
+// submission whose service overlaps across the device's queue lanes —
+// state and structural counters stay byte-identical to the serial loop.
+// See insertbatch.go.
 package core
 
 import (

@@ -970,3 +970,329 @@ func TestLookupBatchLengthMismatch(t *testing.T) {
 		t.Fatal("want length-mismatch error")
 	}
 }
+
+// --- batched insert pipeline ---
+
+// driveInsertTwin feeds the same insert/delete stream into both instances:
+// serial per-key calls on one, windowed InsertBatch/DeleteBatch calls of
+// varying size on the other. The window sizes are deliberately ragged so
+// flush points land both inside and at the edges of batches.
+func driveInsertTwin(t *testing.T, serial, batched *BufferHash, seed int64, nOps, nKeys int, pDelete float64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	universe := make([]uint64, nKeys)
+	for i := range universe {
+		universe[i] = rng.Uint64()
+	}
+	var (
+		insKeys, insVals []uint64
+		delKeys          []uint64
+	)
+	flushIns := func() {
+		if len(insKeys) == 0 {
+			return
+		}
+		if err := batched.InsertBatch(insKeys, insVals); err != nil {
+			t.Fatal(err)
+		}
+		insKeys, insVals = insKeys[:0], insVals[:0]
+	}
+	flushDel := func() {
+		if len(delKeys) == 0 {
+			return
+		}
+		if err := batched.DeleteBatch(delKeys); err != nil {
+			t.Fatal(err)
+		}
+		delKeys = delKeys[:0]
+	}
+	window := 1 + rng.Intn(700)
+	for i := 0; i < nOps; i++ {
+		k := universe[rng.Intn(nKeys)]
+		if rng.Float64() < pDelete {
+			if err := serial.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			flushIns() // preserve order across op kinds
+			delKeys = append(delKeys, k)
+			continue
+		}
+		v := rng.Uint64()
+		if err := serial.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		flushDel()
+		insKeys, insVals = append(insKeys, k), append(insVals, v)
+		if len(insKeys) >= window {
+			flushIns()
+			window = 1 + rng.Intn(700)
+		}
+	}
+	flushIns()
+	flushDel()
+	return universe
+}
+
+// checkInsertTwin asserts the two instances ended byte-identical in every
+// observable way: exact core-counter equality and identical results for
+// every universe key plus a sample of absent keys.
+func checkInsertTwin(t *testing.T, serial, batched *BufferHash, universe []uint64, seed int64) {
+	t.Helper()
+	if ss, bs := serial.Stats(), batched.Stats(); ss != bs {
+		t.Fatalf("core counters diverge after inserts:\nserial  %+v\nbatched %+v", ss, bs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	probe := func(k uint64) {
+		sw, err := serial.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw, err := batched.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw != bw {
+			t.Fatalf("post-state lookup(%#x): serial %+v, batched %+v", k, sw, bw)
+		}
+	}
+	for _, k := range universe {
+		probe(k)
+	}
+	for i := 0; i < 2000; i++ {
+		probe(rng.Uint64())
+	}
+	if ss, bs := serial.Stats(), batched.Stats(); ss != bs {
+		t.Fatalf("core counters diverge after post-state lookups:\nserial  %+v\nbatched %+v", ss, bs)
+	}
+}
+
+func TestInsertBatchMatchesSerial(t *testing.T) {
+	// SharedLog on the Intel SSD, eviction regime: the global slot cursor
+	// and cross-partition reclamation must interleave exactly as serial.
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := driveInsertTwin(t, serial, batched, 401, 90000, 30000, 0.08)
+	checkInsertTwin(t, serial, batched, universe, 402)
+	if batched.Stats().Evictions == 0 {
+		t.Fatal("workload too small: want the eviction regime")
+	}
+}
+
+func TestInsertBatchMatchesSerialUpdatePolicy(t *testing.T) {
+	// Partial discard on PartitionedRegions with a single tiny super table:
+	// one batch triggers enough flushes to wrap the incarnation ring, so
+	// eviction scans must read images whose writes are still staged.
+	mk := func() *BufferHash {
+		clock := vclock.New()
+		return mustNew(t, Config{
+			Device:             ssd.New(ssd.IntelX18M(), 1<<20, clock),
+			Clock:              clock,
+			PartitionBits:      0,
+			BufferBytes:        8 << 10,
+			NumIncarnations:    3,
+			FilterBitsPerEntry: 16,
+			Policy:             UpdateBased,
+			Seed:               42,
+		})
+	}
+	serial, batched := mk(), mk()
+	universe := driveInsertTwin(t, serial, batched, 403, 20000, 3000, 0.10)
+	checkInsertTwin(t, serial, batched, universe, 404)
+	if batched.Stats().PartialScans == 0 {
+		t.Fatal("update policy never scanned an incarnation; retune the test")
+	}
+}
+
+func TestInsertBatchFlashChipEquivalence(t *testing.T) {
+	// Raw NAND: erase-before-write slot recycling, program-order frontiers,
+	// and the same-slot staged-write replacement within one batch.
+	mk := func() *BufferHash {
+		clock := vclock.New()
+		return mustNew(t, Config{
+			Device:             flashchip.New(flashchip.DefaultConfig(1<<20), clock),
+			Clock:              clock,
+			PartitionBits:      1,
+			BufferBytes:        128 << 10,
+			NumIncarnations:    2,
+			FilterBitsPerEntry: 16,
+			Seed:               42,
+		})
+	}
+	serial, batched := mk(), mk()
+	universe := driveInsertTwin(t, serial, batched, 405, 60000, 20000, 0.05)
+	checkInsertTwin(t, serial, batched, universe, 406)
+	if batched.Stats().Evictions == 0 {
+		t.Fatal("chip ring never wrapped; retune the test")
+	}
+}
+
+func TestInsertBatchPlainDeviceFallback(t *testing.T) {
+	// Hiding BatchWriter forces the sorted WriteAt fallback; results and
+	// counters must not change.
+	mk := func(wrap bool) *BufferHash {
+		clock := vclock.New()
+		var dev storage.Device = flashchip.New(flashchip.DefaultConfig(1<<20), clock)
+		if wrap {
+			dev = plainDevice{dev}
+		}
+		return mustNew(t, Config{
+			Device:             dev,
+			Clock:              clock,
+			PartitionBits:      1,
+			BufferBytes:        128 << 10,
+			NumIncarnations:    2,
+			FilterBitsPerEntry: 16,
+			Seed:               42,
+		})
+	}
+	serial, batched := mk(false), mk(true)
+	universe := driveInsertTwin(t, serial, batched, 407, 30000, 10000, 0.05)
+	checkInsertTwin(t, serial, batched, universe, 408)
+}
+
+func TestInsertBatchDuplicateKeysMemoized(t *testing.T) {
+	// A heavily skewed batch: most occurrences hit the last-write-wins
+	// memo, and the outcome must still match serial exactly.
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	rng := rand.New(rand.NewSource(409))
+	hot := make([]uint64, 16)
+	for i := range hot {
+		hot[i] = rng.Uint64()
+	}
+	keys := make([]uint64, 20000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = hot[rng.Intn(len(hot))]
+		vals[i] = rng.Uint64()
+	}
+	for i := range keys {
+		if err := serial.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	checkInsertTwin(t, serial, batched, hot, 410)
+	if got := serial.cfg.Clock.Now(); got != batched.cfg.Clock.Now() {
+		t.Fatalf("virtual clocks diverge on a flush-free duplicate stream: serial %v, batched %v",
+			got, batched.cfg.Clock.Now())
+	}
+}
+
+func TestInsertBatchVirtualTimeOverlap(t *testing.T) {
+	// Once flushes happen, the batch's overlapped sequential writes must
+	// finish sooner in virtual time than the serial per-flush writes.
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	rng := rand.New(rand.NewSource(411))
+	keys := make([]uint64, 60000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		vals[i] = uint64(i)
+	}
+	st0 := serial.cfg.Clock.Now()
+	for i := range keys {
+		if err := serial.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialTime := serial.cfg.Clock.Now() - st0
+	bt0 := batched.cfg.Clock.Now()
+	if err := batched.InsertBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	batchTime := batched.cfg.Clock.Now() - bt0
+	if batched.Stats().Flushes == 0 {
+		t.Fatal("workload has no flushes; overlap untested")
+	}
+	if batchTime >= serialTime {
+		t.Fatalf("batch virtual time %v not below serial %v", batchTime, serialTime)
+	}
+	t.Logf("virtual time: serial %v, batched %v (%.2fx), %d flushes",
+		serialTime, batchTime, float64(serialTime)/float64(batchTime), batched.Stats().Flushes)
+}
+
+func TestInsertBatchLengthMismatch(t *testing.T) {
+	cfg, _ := testConfig(t)
+	b := mustNew(t, cfg)
+	if err := b.InsertBatch(make([]uint64, 3), make([]uint64, 2)); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+// TestReadImageStableAcrossFlushes pins the fix for the old scratch-buffer
+// hazard: an image returned by readImage must stay intact across
+// interleaved flushes (which serialize fresh images) and further reads,
+// because every caller now owns a distinct pooled buffer.
+func TestReadImageStableAcrossFlushes(t *testing.T) {
+	cfg, _ := testConfig(t)
+	b := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(412))
+	// Fill until at least two incarnations exist somewhere.
+	var st *superTable
+	for i := 0; st == nil; i++ {
+		if err := b.Insert(rng.Uint64(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range b.parts {
+			if p.live >= 2 {
+				st = p
+				break
+			}
+		}
+		if i > 1<<20 {
+			t.Fatal("never flushed twice")
+		}
+	}
+	a1 := st.incs[st.oldest()].addr
+	a2 := st.incs[st.oldest()+1].addr
+	img1, err := b.readImage(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]byte(nil), img1...)
+	// Interleave: another image read, then enough inserts to force more
+	// flush serializations.
+	img2, err := b.readImage(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushes := b.Stats().Flushes
+	for b.Stats().Flushes < flushes+3 {
+		if err := b.Insert(rng.Uint64(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(img1) != string(snap) {
+		t.Fatal("readImage buffer was clobbered by interleaved reads/flushes")
+	}
+	b.releaseImage(img2)
+	b.releaseImage(img1)
+}
+
+func TestDeleteBatchMatchesSerial(t *testing.T) {
+	ca, cb := twinConfigs(t)
+	serial, batched := mustNew(t, ca), mustNew(t, cb)
+	universe := populateTwin(t, serial, batched, 413, 20000, 8000)
+	dels := make([]uint64, 0, len(universe)/2)
+	for i, k := range universe {
+		if i%2 == 0 {
+			dels = append(dels, k)
+		}
+	}
+	for _, k := range dels {
+		if err := serial.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.DeleteBatch(dels); err != nil {
+		t.Fatal(err)
+	}
+	checkInsertTwin(t, serial, batched, universe, 414)
+	if got := serial.cfg.Clock.Now(); got != batched.cfg.Clock.Now() {
+		t.Fatalf("delete batch clock diverges: serial %v, batched %v", got, batched.cfg.Clock.Now())
+	}
+}

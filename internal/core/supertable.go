@@ -321,6 +321,7 @@ func (st *superTable) evictOldest(forceFull bool) ([]entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer st.owner.releaseImage(image)
 	params := st.owner.tableParams(st.idx)
 	newerMask := st.validMask() // offsets newer than j0 (live already decremented)
 	var retained []entry
@@ -357,8 +358,10 @@ func (st *superTable) evictOldest(forceFull bool) ([]entry, error) {
 	return retained, nil
 }
 
-// writeBufferAsIncarnation serializes the buffer, writes it to the device
-// at a layout-chosen address, rotates the Bloom bank, and resets the buffer.
+// writeBufferAsIncarnation serializes the buffer into a pooled image
+// buffer, writes it to the device at a layout-chosen address — or stages
+// the write for the batch-end overlapped submission when the owner is in a
+// batched insert — rotates the Bloom bank, and resets the buffer.
 func (st *superTable) writeBufferAsIncarnation() error {
 	cfg := &st.owner.cfg
 	st.owner.chargeCPU(cfg.CPU.FlushSerialize)
@@ -366,10 +369,16 @@ func (st *superTable) writeBufferAsIncarnation() error {
 	if err != nil {
 		return err
 	}
-	img := st.owner.scratchImage()
+	img := st.owner.acquireImage()
 	st.buf.Serialize(img)
-	if _, err := cfg.Device.WriteAt(img, addr); err != nil {
-		return fmt.Errorf("core: incarnation write: %w", err)
+	if st.owner.deferWrites {
+		st.owner.stageWrite(img, addr)
+	} else {
+		_, werr := cfg.Device.WriteAt(img, addr)
+		st.owner.releaseImage(img)
+		if werr != nil {
+			return fmt.Errorf("core: incarnation write: %w", werr)
+		}
 	}
 	if st.bank != nil {
 		st.bank.Rotate()

@@ -179,26 +179,36 @@ func (t *Table) emptyIn(base, b int) int {
 // It returns ErrFull if the table is at its utilization cap or the
 // displacement chain within the key's page could not be resolved; in either
 // case the table is unchanged.
+//
+// The overwrite check and the empty-slot search share one pass over the
+// two candidate buckets (hashing the key once), since both need to scan
+// the same eight slots; the displacement walk below is the rare path.
 func (t *Table) Insert(key, value uint64) error {
 	if key == 0 {
 		return ErrZeroKey
 	}
-	if s := t.findSlot(key); s >= 0 {
-		t.values[s] = value
-		return nil
+	base := t.params.PageIndex(key) * t.params.PageSlots
+	b1, b2 := t.params.bucketCandidates(key)
+	empty := -1
+	for _, b := range [2]int{b1, b2} {
+		s := base + b*BucketSlots
+		for i := 0; i < BucketSlots; i++ {
+			switch t.keys[s+i] {
+			case key:
+				t.values[s+i] = value
+				return nil
+			case 0:
+				if empty < 0 {
+					empty = s + i
+				}
+			}
+		}
 	}
 	if t.count >= t.Cap() {
 		return ErrFull
 	}
-	base := t.params.PageIndex(key) * t.params.PageSlots
-	b1, b2 := t.params.bucketCandidates(key)
-	if s := t.emptyIn(base, b1); s >= 0 {
-		t.keys[s], t.values[s] = key, value
-		t.count++
-		return nil
-	}
-	if s := t.emptyIn(base, b2); s >= 0 {
-		t.keys[s], t.values[s] = key, value
+	if empty >= 0 {
+		t.keys[empty], t.values[empty] = key, value
 		t.count++
 		return nil
 	}

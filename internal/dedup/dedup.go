@@ -50,6 +50,21 @@ type BatchIndex interface {
 	PutBatch(ctx context.Context, fps, locators [][]byte) error
 }
 
+// ProbeIndex is implemented by indexes offering existence probes that stop
+// at the index hit and skip the record fetch (clam.Store.Contains). A
+// dedup merge only asks "have I seen this fingerprint", so the probe's
+// fingerprint-collision false positive rate — which the paper accepts at
+// 32–64-bit fingerprints — merely misclassifies a chunk as duplicate, the
+// same outcome a true fingerprint collision produces in any dedup system.
+type ProbeIndex interface {
+	Contains(fp []byte) (bool, error)
+}
+
+// BatchProbeIndex is the batched ProbeIndex (clam.Store.ContainsBatch).
+type BatchProbeIndex interface {
+	ContainsBatch(ctx context.Context, fps [][]byte) ([]bool, error)
+}
+
 // mergeWindow is the batched-merge window size.
 const mergeWindow = 1024
 
@@ -123,10 +138,19 @@ func merge(dst Index, src source, clock *vclock.Clock) (Result, error) {
 		res.Elapsed = w.Elapsed()
 		return res, err
 	}
+	probe, canProbe := dst.(ProbeIndex)
 	for i := int64(0); i < src.Len(); i++ {
 		fp := src.At(i)
 		res.Scanned++
-		_, found, err := dst.Get(fp)
+		var found bool
+		var err error
+		if canProbe {
+			// The duplicate check needs only existence: the probe stops at
+			// the index hit and skips the record read.
+			found, err = probe.Contains(fp)
+		} else {
+			_, found, err = dst.Get(fp)
+		}
 		if err != nil {
 			return res, fmt.Errorf("dedup: lookup: %w", err)
 		}
@@ -158,7 +182,15 @@ func mergeBatched(dst BatchIndex, src source, res *Result) error {
 			locs = append(locs, src.LocatorAt(i))
 		}
 		res.Scanned += int64(len(fps))
-		_, found, err := dst.GetBatch(ctx, fps)
+		var found []bool
+		var err error
+		if bp, ok := dst.(BatchProbeIndex); ok {
+			// Existence is all the window needs; the batched probe pays only
+			// the overlapped index reads, not the value-log record fetches.
+			found, err = bp.ContainsBatch(ctx, fps)
+		} else {
+			_, found, err = dst.GetBatch(ctx, fps)
+		}
 		if err != nil {
 			return fmt.Errorf("dedup: batched lookup: %w", err)
 		}

@@ -196,7 +196,42 @@ func (d *Disk) ReadBatch(reqs []storage.ReadReq) (time.Duration, error) {
 	return total, nil
 }
 
+// WriteBatch implements storage.BatchWriter the same way ReadBatch
+// implements BatchReader: one actuator means no overlap, so the whole win
+// is the elevator pass — ascending address order pays the random component
+// (seek + rotational delay) once per discontiguous run, and contiguous
+// requests stream at media rate. The clock advances once by the pass total.
+func (d *Disk) WriteBatch(reqs []storage.WriteReq) (time.Duration, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	g := d.Geometry()
+	for _, r := range reqs {
+		if err := storage.CheckRange(g, r.Off, int64(len(r.P)), 1); err != nil {
+			return 0, err
+		}
+		if d.fault != nil {
+			if err := d.fault(storage.OpWrite, r.Off, len(r.P)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	storage.SortWriteReqs(reqs)
+	var total time.Duration
+	for _, r := range reqs {
+		total += d.service(r.Off, int64(len(r.P)))
+		d.lastEnd = r.Off + int64(len(r.P))
+		d.store.WriteAt(r.P, r.Off)
+		d.counters.Writes++
+		d.counters.BytesWritten += uint64(len(r.P))
+	}
+	d.counters.BusyTime += total
+	d.clock.Advance(total)
+	return total, nil
+}
+
 var (
 	_ storage.Device      = (*Disk)(nil)
 	_ storage.BatchReader = (*Disk)(nil)
+	_ storage.BatchWriter = (*Disk)(nil)
 )

@@ -225,24 +225,40 @@ func (c *Chip) WriteAt(p []byte, off int64) (time.Duration, error) {
 			return 0, err
 		}
 	}
+	if err := c.program(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	lat := c.cfg.Costs.Write(int64(len(p)))
+	c.store.WriteAt(p, off)
+	c.counters.Writes++
+	c.counters.BytesWritten += uint64(len(p))
+	c.counters.BusyTime += lat
+	c.clock.Advance(lat)
+	return lat, nil
+}
+
+// program validates and advances the program-order frontiers of the blocks
+// covered by a page-aligned write of n bytes at off. The frontiers are only
+// mutated once the whole range validates, so a failed write leaves the chip
+// unchanged. Shared by WriteAt and WriteBatch.
+func (c *Chip) program(off, n int64) error {
 	ps := int64(c.cfg.PageSize)
 	pagesPerBlock := int32(c.cfg.BlockSize / c.cfg.PageSize)
-	// Validate program order before mutating anything.
 	type blkRange struct {
 		blk        int64
 		start, end int32 // page indexes within block
 	}
 	var ranges []blkRange
-	for pg := off / ps; pg < (off+int64(len(p)))/ps; {
+	for pg := off / ps; pg < (off+n)/ps; {
 		blk := pg / int64(pagesPerBlock)
 		inBlk := int32(pg % int64(pagesPerBlock))
 		endPg := (blk + 1) * int64(pagesPerBlock)
-		if lim := (off + int64(len(p))) / ps; endPg > lim {
+		if lim := (off + n) / ps; endPg > lim {
 			endPg = lim
 		}
 		count := int32(endPg - pg)
 		if inBlk != c.frontier[blk] {
-			return 0, fmt.Errorf("%w: block %d frontier %d, write starts at page %d",
+			return fmt.Errorf("%w: block %d frontier %d, write starts at page %d",
 				storage.ErrProgramOrder, blk, c.frontier[blk], inBlk)
 		}
 		if inBlk+count > pagesPerBlock {
@@ -254,13 +270,61 @@ func (c *Chip) WriteAt(p []byte, off int64) (time.Duration, error) {
 	for _, r := range ranges {
 		c.frontier[r.blk] = r.end
 	}
-	lat := c.cfg.Costs.Write(int64(len(p)))
-	c.store.WriteAt(p, off)
-	c.counters.Writes++
-	c.counters.BytesWritten += uint64(len(p))
-	c.counters.BusyTime += lat
-	c.clock.Advance(lat)
-	return lat, nil
+	return nil
+}
+
+// WriteBatch implements storage.BatchWriter: address-sorted service,
+// sequential runs paying the fixed program setup once, and per-request
+// program times overlapped across the chip's planes (multi-plane page
+// program). Program-order constraints are enforced per request in sorted
+// order, so earlier requests of a failing batch remain programmed — the
+// same partial-application contract as a failing multi-block WriteAt.
+func (c *Chip) WriteBatch(reqs []storage.WriteReq) (time.Duration, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	g := c.Geometry()
+	for _, r := range reqs {
+		if err := storage.CheckRange(g, r.Off, int64(len(r.P)), c.cfg.PageSize); err != nil {
+			return 0, err
+		}
+		if c.fault != nil {
+			if err := c.fault(storage.OpWrite, r.Off, len(r.P)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	storage.SortWriteReqs(reqs)
+	if cap(c.batchSvc) < len(reqs) {
+		c.batchSvc = make([]time.Duration, len(reqs))
+	}
+	svc := c.batchSvc[:len(reqs)]
+	prevEnd := int64(-1)
+	var total time.Duration
+	for i, r := range reqs {
+		n := int64(len(r.P))
+		if err := c.program(r.Off, n); err != nil {
+			// Charge what was serviced so far; the clock must not move for
+			// work that never happened.
+			total = storage.OverlapLanes(svc[:i], c.cfg.Planes)
+			c.counters.BusyTime += total
+			c.clock.Advance(total)
+			return total, err
+		}
+		lat := time.Duration(n) * c.cfg.Costs.WritePerByte
+		if r.Off != prevEnd {
+			lat += c.cfg.Costs.WriteFixed
+		}
+		prevEnd = r.Off + n
+		svc[i] = lat
+		c.store.WriteAt(r.P, r.Off)
+		c.counters.Writes++
+		c.counters.BytesWritten += uint64(n)
+	}
+	total = storage.OverlapLanes(svc, c.cfg.Planes)
+	c.counters.BusyTime += total
+	c.clock.Advance(total)
+	return total, nil
 }
 
 // Erase erases the blocks covering [off, off+n). The range must be
@@ -294,4 +358,5 @@ var (
 	_ storage.Device      = (*Chip)(nil)
 	_ storage.Eraser      = (*Chip)(nil)
 	_ storage.BatchReader = (*Chip)(nil)
+	_ storage.BatchWriter = (*Chip)(nil)
 )

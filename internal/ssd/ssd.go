@@ -400,6 +400,66 @@ func (s *SSD) WriteAt(p []byte, off int64) (time.Duration, error) {
 	return s.finish(lat), nil
 }
 
+// WriteBatch implements storage.BatchWriter with the shared overlap model:
+// requests are served in ascending address order, address-contiguous
+// requests form sequential runs that skip the fixed command cost, and the
+// per-request transfer times are overlapped across QueueDepth channel
+// lanes. FTL bookkeeping runs per request exactly as WriteAt would run it;
+// synchronous GC debt — pending reclamation plus any emergency reclaims the
+// batch's own allocations force — is charged once to the whole batch and
+// serializes ahead of the overlapped transfers, the same "GC blocks the
+// device" behaviour a single arriving write exhibits (§7.2.2).
+func (s *SSD) WriteBatch(reqs []storage.WriteReq) (time.Duration, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	g := s.Geometry()
+	for _, r := range reqs {
+		if err := storage.CheckRange(g, r.Off, int64(len(r.P)), s.prof.SectorSize); err != nil {
+			return 0, err
+		}
+		if s.fault != nil {
+			if err := s.fault(storage.OpWrite, r.Off, len(r.P)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	s.creditIdle()
+	storage.SortWriteReqs(reqs)
+	var base time.Duration
+	if s.prof.Mapping == PageMapped {
+		base = s.gcIfNeeded()
+	}
+	if cap(s.batchSvc) < len(reqs) {
+		s.batchSvc = make([]time.Duration, len(reqs))
+	}
+	svc := s.batchSvc[:len(reqs)]
+	prevEnd := int64(-1)
+	for i, r := range reqs {
+		n := int64(len(r.P))
+		var lat time.Duration
+		switch s.prof.Mapping {
+		case PageMapped:
+			if n > 0 {
+				s.allocRange(r.Off, n, &base)
+			}
+			lat = time.Duration(n) * s.prof.WritePerByte
+		case BlockMapped:
+			lat = s.blockMappedBody(r.Off, n)
+		}
+		if r.Off != prevEnd {
+			lat += s.prof.WriteFixed // new run: command setup / channel switch
+		}
+		prevEnd = r.Off + n
+		svc[i] = lat
+		s.store.WriteAt(r.P, r.Off)
+		s.counters.Writes++
+		s.counters.BytesWritten += uint64(n)
+	}
+	total := base + storage.OverlapLanes(svc, s.prof.QueueDepth)
+	return s.finish(total), nil
+}
+
 // Trim implements storage.Trimmer: it invalidates the mapping for the given
 // sector-aligned range without charging host latency.
 func (s *SSD) Trim(off, n int64) error {
@@ -532,12 +592,21 @@ func (s *SSD) gcIfNeeded() time.Duration {
 
 func (s *SSD) writePageMapped(off, n int64) time.Duration {
 	lat := s.gcIfNeeded()
-	ps := int64(s.prof.PageSize)
-	first := off / ps
-	last := (off + n - 1) / ps
 	if n == 0 {
 		return lat + s.prof.WriteFixed
 	}
+	s.allocRange(off, n, &lat)
+	lat += s.prof.WriteFixed + time.Duration(n)*s.prof.WritePerByte
+	return lat
+}
+
+// allocRange invalidates and reallocates the logical pages of [off, off+n)
+// at the write frontier, charging emergency reclamation to *cost. Shared by
+// the single-write and batched-write paths so FTL state evolves identically.
+func (s *SSD) allocRange(off, n int64, cost *time.Duration) {
+	ps := int64(s.prof.PageSize)
+	first := off / ps
+	last := (off + n - 1) / ps
 	for lp := first; lp <= last; lp++ {
 		s.invalidate(lp)
 		s.allocPage(lp)
@@ -547,20 +616,25 @@ func (s *SSD) writePageMapped(off, n int64) time.Duration {
 		// up slowing reads too (§7.2.2).
 		if len(s.freeBlocks) == 0 {
 			s.counters.GCRuns++
-			if !s.reclaimOne(&lat) {
+			if !s.reclaimOne(cost) {
 				break
 			}
 		}
 	}
-	lat += s.prof.WriteFixed + time.Duration(n)*s.prof.WritePerByte
-	return lat
 }
 
 // --- block-mapped FTL ---
 
 func (s *SSD) writeBlockMapped(off, n int64) time.Duration {
+	return s.blockMappedBody(off, n) + s.prof.WriteFixed
+}
+
+// blockMappedBody is the block-mapped write cost and FTL bookkeeping
+// without the per-command fixed overhead (which batched sequential runs
+// pay only once).
+func (s *SSD) blockMappedBody(off, n int64) time.Duration {
 	if n == 0 {
-		return s.prof.WriteFixed
+		return 0
 	}
 	var lat time.Duration
 	ps := int64(s.prof.PageSize)
@@ -621,11 +695,12 @@ func (s *SSD) writeBlockMapped(off, n int64) time.Duration {
 		s.everWritten[blk] = true
 		off = segEnd
 	}
-	return lat + s.prof.WriteFixed
+	return lat
 }
 
 var (
 	_ storage.Device      = (*SSD)(nil)
 	_ storage.Trimmer     = (*SSD)(nil)
 	_ storage.BatchReader = (*SSD)(nil)
+	_ storage.BatchWriter = (*SSD)(nil)
 )

@@ -49,9 +49,16 @@ type BatchReader interface {
 // common case, since the core pipeline submits sorted requests — are
 // detected with one linear scan and left untouched.
 func SortReadReqs(reqs []ReadReq) {
+	sortByOff(reqs, func(r ReadReq) int64 { return r.Off })
+}
+
+// sortByOff is the shared elevator ordering of SortReadReqs and
+// SortWriteReqs: stable ascending sort by device address, with a linear
+// scan skipping batches that are already in order.
+func sortByOff[T any](reqs []T, off func(T) int64) {
 	sorted := true
 	for i := 1; i < len(reqs); i++ {
-		if reqs[i].Off < reqs[i-1].Off {
+		if off(reqs[i]) < off(reqs[i-1]) {
 			sorted = false
 			break
 		}
@@ -59,7 +66,7 @@ func SortReadReqs(reqs []ReadReq) {
 	if sorted {
 		return
 	}
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Off < reqs[j].Off })
+	sort.SliceStable(reqs, func(i, j int) bool { return off(reqs[i]) < off(reqs[j]) })
 }
 
 // OverlapLanes implements step 3 of the overlap model: distribute the
@@ -113,6 +120,60 @@ func ReadBatchFallback(d Device, reqs []ReadReq) (time.Duration, error) {
 	var total time.Duration
 	for _, r := range reqs {
 		lat, err := d.ReadAt(r.P, r.Off)
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+// WriteReq is one write of a batched I/O: store P at device offset Off.
+type WriteReq struct {
+	P   []byte
+	Off int64
+}
+
+// BatchWriter is the write-side twin of BatchReader: a set of writes
+// submitted as one queued batch, served in ascending address order with
+// sequential runs paying the fixed command cost once and per-request
+// service times overlapped across the device's queue lanes. It is the
+// device half of the batched insert pipeline: BufferHash collects every
+// incarnation image a batch's flushes produce, sorts them by address, and
+// submits them here in one call.
+//
+// WriteBatch stores every request's bytes and returns the overlapped
+// service time of the whole batch, advancing the device clock by that
+// amount once. Counters still account every request individually (Writes
+// and BytesWritten grow by the batch size), so I/O counts stay comparable
+// with a loop over WriteAt; only the time model changes. FTL bookkeeping
+// (page mapping, garbage collection, erase-before-write) runs per request
+// exactly as WriteAt would run it, with any synchronous GC debt paid once
+// up front by the whole batch.
+//
+// Requests must respect the same alignment rules as WriteAt and must not
+// overlap one another; on media with program-order constraints (raw NAND)
+// the address-sorted requests must respect them, as full-block incarnation
+// images do by construction.
+type BatchWriter interface {
+	WriteBatch(reqs []WriteReq) (time.Duration, error)
+}
+
+// SortWriteReqs orders reqs by ascending device address (the elevator/NCQ
+// step of the overlap model). Already-sorted batches are detected with one
+// linear scan and left untouched.
+func SortWriteReqs(reqs []WriteReq) {
+	sortByOff(reqs, func(r WriteReq) int64 { return r.Off })
+}
+
+// WriteBatchFallback services a write batch against a plain Device by
+// looping WriteAt in address-sorted order — the serial sum, the correct
+// fallback for devices without BatchWriter.
+func WriteBatchFallback(d Device, reqs []WriteReq) (time.Duration, error) {
+	SortWriteReqs(reqs)
+	var total time.Duration
+	for _, r := range reqs {
+		lat, err := d.WriteAt(r.P, r.Off)
 		if err != nil {
 			return total, err
 		}

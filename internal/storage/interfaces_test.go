@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/flashchip"
@@ -199,5 +200,113 @@ func TestEraserInterface(t *testing.T) {
 	// SSDs hide their erase behind the FTL and must NOT advertise Eraser.
 	if _, ok := interface{}(ssd.New(ssd.IntelX18M(), 4<<20, vclock.New())).(storage.Eraser); ok {
 		t.Fatal("SSD claims storage.Eraser")
+	}
+}
+
+// TestBatchWriterContract exercises WriteBatch on every device model
+// against a twin device driven by serial WriteAt: identical stored bytes
+// and write counters, and batch service time never above the serial sum
+// (sorting and lane overlap can only help).
+func TestBatchWriterContract(t *testing.T) {
+	mkDevices := func() map[string]storage.Device {
+		return map[string]storage.Device{
+			"ssd-intel":     ssd.New(ssd.IntelX18M(), 4<<20, vclock.New()),
+			"ssd-transcend": ssd.New(ssd.TranscendTS32(), 4<<20, vclock.New()),
+			"chip":          flashchip.New(flashchip.DefaultConfig(4<<20), vclock.New()),
+			"disk":          disk.New(disk.Hitachi7K80(), 4<<20, vclock.New()),
+		}
+	}
+	serialDevs, batchDevs := mkDevices(), mkDevices()
+	for name := range serialDevs {
+		t.Run(name, func(t *testing.T) {
+			sd, bd := serialDevs[name], batchDevs[name]
+			bw, ok := bd.(storage.BatchWriter)
+			if !ok {
+				t.Fatalf("%s does not expose storage.BatchWriter", name)
+			}
+			// 128 KB chunks (whole erase blocks on NAND) at scattered,
+			// non-contiguous addresses, submitted in descending order so the
+			// batch path must sort.
+			const chunk = 128 << 10
+			var reqs []storage.WriteReq
+			for i := 7; i >= 0; i-- {
+				p := bytes.Repeat([]byte{byte('A' + i)}, chunk)
+				reqs = append(reqs, storage.WriteReq{P: p, Off: int64(i) * 2 * chunk})
+			}
+			var serialSum time.Duration
+			for i := len(reqs) - 1; i >= 0; i-- { // ascending order for the serial twin
+				lat, err := sd.WriteAt(reqs[i].P, reqs[i].Off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialSum += lat
+			}
+			batchLat, err := bw.WriteBatch(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batchLat <= 0 || batchLat > serialSum {
+				t.Fatalf("batch latency %v outside (0, serial sum %v]", batchLat, serialSum)
+			}
+			sc, bc := sd.Counters(), bd.Counters()
+			if bc.Writes != sc.Writes || bc.BytesWritten != sc.BytesWritten {
+				t.Fatalf("write counters diverge: serial %+v, batched %+v", sc, bc)
+			}
+			got := make([]byte, chunk)
+			want := make([]byte, chunk)
+			for _, r := range reqs {
+				if _, err := bd.ReadAt(got, r.Off); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sd.ReadAt(want, r.Off); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) || !bytes.Equal(got, r.P) {
+					t.Fatalf("batched write at %d stored wrong bytes", r.Off)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchWriterSequentialRunDiscount pins the run discount: a batch of
+// address-contiguous writes must cost less than the same pages written as
+// discontiguous requests (which pay the fixed cost every time).
+func TestBatchWriterSequentialRunDiscount(t *testing.T) {
+	mk := func() storage.BatchWriter {
+		return ssd.New(ssd.IntelX18M(), 4<<20, vclock.New())
+	}
+	const page = 4096
+	seq, scattered := mk(), mk()
+	var seqReqs, scatReqs []storage.WriteReq
+	for i := 0; i < 32; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, page)
+		seqReqs = append(seqReqs, storage.WriteReq{P: p, Off: int64(i) * page})
+		scatReqs = append(scatReqs, storage.WriteReq{P: p, Off: int64(i) * 3 * page})
+	}
+	seqLat, err := seq.WriteBatch(seqReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scatLat, err := scattered.WriteBatch(scatReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqLat >= scatLat {
+		t.Fatalf("sequential batch %v not cheaper than scattered %v", seqLat, scatLat)
+	}
+}
+
+// TestBatchWriterProgramOrder: on raw NAND a batch violating program order
+// must fail, exactly as serial writes would.
+func TestBatchWriterProgramOrder(t *testing.T) {
+	chip := flashchip.New(flashchip.DefaultConfig(1<<20), vclock.New())
+	g := chip.Geometry()
+	p := bytes.Repeat([]byte{0x5A}, g.PageSize)
+	// Page 1 of block 0 without page 0 first: out of order even after the
+	// address sort.
+	_, err := chip.WriteBatch([]storage.WriteReq{{P: p, Off: int64(g.PageSize)}})
+	if !errors.Is(err, storage.ErrProgramOrder) {
+		t.Fatalf("out-of-order batch write: %v, want ErrProgramOrder", err)
 	}
 }

@@ -8,12 +8,14 @@
 // model and the data path are exercised together.
 //
 // Besides the one-at-a-time Device interface, devices may implement
-// BatchReader: a queued submission of many reads whose service times
-// overlap across the device's internal parallelism (SSD channels, NAND
-// planes) after an address sort, with sequential runs paying the fixed
-// command cost once. The batched lookup pipeline in internal/core feeds
-// coalesced flash probes through this interface; see BatchReader for the
-// precise three-step overlap model.
+// BatchReader and BatchWriter: queued submissions of many reads or writes
+// whose service times overlap across the device's internal parallelism
+// (SSD channels, NAND planes) after an address sort, with sequential runs
+// paying the fixed command cost once. The batched lookup pipeline in
+// internal/core feeds coalesced flash probes through BatchReader, and the
+// batched insert pipeline feeds the incarnation images its flushes
+// produce through BatchWriter; see those interfaces for the precise
+// three-step overlap model.
 package storage
 
 import (

@@ -44,11 +44,38 @@ type ValueLog struct {
 
 	stats ValueLogStats
 
+	// Space accounting (live vs dead record bytes) is tracked per fixed-size
+	// log region: appends allocate into a region, MarkDead moves allocated
+	// bytes to the dead side, and when the append head re-enters a region on
+	// a later cycle the region's remaining bytes are lapped — destroyed by
+	// the circular overwrite, live or not. Totals are maintained
+	// incrementally so Stats() is O(1).
+	regionSize int64
+	regAlloc   []int64  // record bytes appended into the region this cycle
+	regDead    []int64  // of those, bytes marked dead
+	regCycle   []uint64 // cycle the region's counters belong to
+	cycle      uint64   // current append cycle (increments at each wrap)
+	allocTotal int64
+	deadTotal  int64
+
 	scratch []byte    // batched-read arena, reused across calls
 	reqs    []ReadReq // batched-read request scratch
 }
 
-// ValueLogStats counts log activity.
+// ValueLogStats counts log activity, including the live/dead space
+// accounting: delete is index-only and overwrite is append-only, so dead
+// records keep occupying log space until the head laps them. LiveBytes and
+// DeadBytes partition the un-lapped record bytes; their sum over Capacity
+// is the log occupancy.
+//
+// Dead-marking is driven by the clam facade, which can only observe a
+// record dying while its pointer is still in the DRAM buffer (an overwrite
+// or delete of a flushed key dies silently), so the split is approximate:
+// LiveBytes overcounts for unobserved deaths, and a stale buffered pointer
+// whose record was already lapped can debit a region's current bytes
+// instead (see MarkDead). Region clamping keeps the totals within
+// [0, capacity] either way. The counters are accounting only — no reclaim
+// yet.
 type ValueLogStats struct {
 	// Records is the number of records appended.
 	Records uint64
@@ -59,15 +86,53 @@ type ValueLogStats struct {
 	Wraps uint64
 	// BufferedBytes is the current tail-buffer occupancy.
 	BufferedBytes int64
+
+	// Capacity is the usable log capacity in bytes (summed across shards).
+	Capacity int64
+	// LiveBytes is the record bytes appended and not yet marked dead or
+	// lapped by the circular overwrite.
+	LiveBytes int64
+	// DeadBytes is the record bytes marked dead (deleted or overwritten
+	// while still observable) but not yet lapped.
+	DeadBytes int64
+	// LappedBytes is the total record bytes reclaimed by the head lapping
+	// old regions.
+	LappedBytes uint64
+	// LappedLiveBytes is the subset of LappedBytes never marked dead — the
+	// log's silent FIFO data loss.
+	LappedLiveBytes uint64
+}
+
+// Occupancy returns the fraction of the log capacity holding un-lapped
+// record bytes (live + dead).
+func (s ValueLogStats) Occupancy() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.LiveBytes+s.DeadBytes) / float64(s.Capacity)
+}
+
+// LiveFraction returns the fraction of un-lapped record bytes still live.
+func (s ValueLogStats) LiveFraction() float64 {
+	if s.LiveBytes+s.DeadBytes == 0 {
+		return 0
+	}
+	return float64(s.LiveBytes) / float64(s.LiveBytes+s.DeadBytes)
 }
 
 // Add accumulates another log's stats (sharded aggregation). BufferedBytes
-// sums to the fleet-wide tail-buffer occupancy.
+// sums to the fleet-wide tail-buffer occupancy; Capacity and the space
+// counters sum to the fleet-wide view, so Occupancy stays meaningful.
 func (s *ValueLogStats) Add(o ValueLogStats) {
 	s.Records += o.Records
 	s.AppendedBytes += o.AppendedBytes
 	s.Wraps += o.Wraps
 	s.BufferedBytes += o.BufferedBytes
+	s.Capacity += o.Capacity
+	s.LiveBytes += o.LiveBytes
+	s.DeadBytes += o.DeadBytes
+	s.LappedBytes += o.LappedBytes
+	s.LappedLiveBytes += o.LappedLiveBytes
 }
 
 // recordHeaderSize is the per-record header: uint32 key length, uint32
@@ -119,13 +184,25 @@ func NewValueLog(dev Device) (*ValueLog, error) {
 	if flushAt < g.PageSize {
 		flushAt = g.PageSize
 	}
+	// Space accounting resolution: ~256 regions, page-aligned, at least one
+	// page each.
+	regionSize := (capacity/256 + int64(g.PageSize) - 1) / int64(g.PageSize) * int64(g.PageSize)
+	if regionSize < int64(g.PageSize) {
+		regionSize = int64(g.PageSize)
+	}
+	nRegions := (capacity + regionSize - 1) / regionSize
 	return &ValueLog{
-		dev:      dev,
-		eraser:   eraser,
-		pageSize: g.PageSize,
-		capacity: capacity,
-		flushAt:  flushAt,
-		erasedTo: capacity, // fresh media: nothing to erase until the first wrap
+		dev:        dev,
+		eraser:     eraser,
+		pageSize:   g.PageSize,
+		capacity:   capacity,
+		flushAt:    flushAt,
+		erasedTo:   capacity, // fresh media: nothing to erase until the first wrap
+		regionSize: regionSize,
+		regAlloc:   make([]int64, nRegions),
+		regDead:    make([]int64, nRegions),
+		regCycle:   make([]uint64, nRegions),
+		cycle:      1, // regCycle starts at 0, so every region laps empty on first touch
 	}, nil
 }
 
@@ -139,13 +216,89 @@ func (l *ValueLog) Device() Device { return l.dev }
 func (l *ValueLog) Stats() ValueLogStats {
 	s := l.stats
 	s.BufferedBytes = int64(len(l.buf))
+	s.Capacity = l.capacity
+	s.LiveBytes = l.allocTotal - l.deadTotal
+	s.DeadBytes = l.deadTotal
 	return s
+}
+
+// allocSpan charges the record bytes [off, off+n) to their regions' live
+// side, lapping any region the head re-enters on a new cycle: whatever the
+// region still held from the previous cycle is destroyed by the circular
+// overwrite, live or not.
+func (l *ValueLog) allocSpan(off int64, n int) {
+	end := off + int64(n)
+	for off < end {
+		r := off / l.regionSize
+		if l.regCycle[r] != l.cycle {
+			l.stats.LappedBytes += uint64(l.regAlloc[r])
+			l.stats.LappedLiveBytes += uint64(l.regAlloc[r] - l.regDead[r])
+			l.allocTotal -= l.regAlloc[r]
+			l.deadTotal -= l.regDead[r]
+			l.regAlloc[r], l.regDead[r] = 0, 0
+			l.regCycle[r] = l.cycle
+		}
+		span := min((r+1)*l.regionSize, end) - off
+		l.regAlloc[r] += span
+		l.allocTotal += span
+		off += span
+	}
+}
+
+// MarkDead records that the record at [off, off+n) no longer backs a live
+// key (its index entry was deleted or overwritten). The accounting is
+// approximate in the presence of stale pointers: a record ahead of the
+// head whose region was already re-entered this cycle is provably lapped
+// and skipped, but a lapped record behind the head is indistinguishable
+// from a current-cycle one, so its debit lands on whatever the region now
+// holds (clamped, so totals stay within [0, capacity]). Counters only;
+// the space is reclaimed by the circular overwrite as usual.
+func (l *ValueLog) MarkDead(off int64, n int) {
+	if off < 0 || n <= 0 || off+int64(n) > l.capacity {
+		return
+	}
+	if off >= l.head && l.regCycle[off/l.regionSize] == l.cycle {
+		// A record at or past the head was appended in a previous cycle; its
+		// region re-entering the current cycle means the head already lapped
+		// it — the lap accounting has counted it, nothing left to debit.
+		return
+	}
+	end := off + int64(n)
+	for off < end {
+		r := off / l.regionSize
+		regEnd := (r + 1) * l.regionSize
+		span := min(regEnd, end) - off
+		// Clamp to what the region still holds: a pointer whose record was
+		// already lapped must not drive the region's live count negative.
+		if avail := l.regAlloc[r] - l.regDead[r]; span > avail {
+			span = avail
+		}
+		l.regDead[r] += span
+		l.deadTotal += span
+		off = min(regEnd, end)
+	}
 }
 
 // Append writes a (key, value) record and returns its pointer (offset and
 // total length). The returned offset becomes invalid — and reads of it
 // self-invalidate via key verification — once the head wraps past it.
 func (l *ValueLog) Append(key, value []byte) (off int64, n int, err error) {
+	off, n, err = l.appendRecord(key, value)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(l.buf) >= l.flushAt {
+		if err := l.flushFullPages(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return off, n, nil
+}
+
+// appendRecord stages one record in the tail buffer without triggering the
+// full-page flush, so batched appends can accumulate a whole chunk and
+// write its pages in one sequential submission.
+func (l *ValueLog) appendRecord(key, value []byte) (off int64, n int, err error) {
 	n = RecordSize(len(key), len(value))
 	if int64(n) > l.capacity {
 		return 0, 0, fmt.Errorf("storage: value record of %d bytes exceeds log capacity %d", n, l.capacity)
@@ -168,12 +321,33 @@ func (l *ValueLog) Append(key, value []byte) (off int64, n int, err error) {
 	l.head += int64(n)
 	l.stats.Records++
 	l.stats.AppendedBytes += uint64(n)
-	if len(l.buf) >= l.flushAt {
-		if err := l.flushFullPages(); err != nil {
-			return 0, 0, err
-		}
-	}
+	l.allocSpan(off, n)
 	return off, n, nil
+}
+
+// AppendBatch appends len(keys) records as one tail-buffered multi-record
+// append, filling offs[i] and ns[i] with each record's pointer (both must
+// have len(keys)). Record offsets, wrap points and tail-served reads are
+// exactly what a loop over Append would produce; the difference is purely
+// the write stream — the batch's full pages reach the device as one
+// sequential submission at the end instead of one write per flushAt of
+// accumulated records. On error the batch may be partially appended.
+func (l *ValueLog) AppendBatch(keys, values [][]byte, offs []int64, ns []int) error {
+	if len(keys) != len(values) || len(offs) != len(keys) || len(ns) != len(keys) {
+		return fmt.Errorf("storage: AppendBatch length mismatch: %d keys, %d values, %d offs, %d ns",
+			len(keys), len(values), len(offs), len(ns))
+	}
+	for i := range keys {
+		off, n, err := l.appendRecord(keys[i], values[i])
+		if err != nil {
+			return err
+		}
+		offs[i], ns[i] = off, n
+	}
+	if len(l.buf) >= l.flushAt {
+		return l.flushFullPages()
+	}
+	return nil
 }
 
 // flushFullPages writes the tail buffer's whole pages to the device and
@@ -207,6 +381,7 @@ func (l *ValueLog) wrap() error {
 	l.head, l.bufStart = 0, 0
 	l.wrapped = true
 	l.erasedTo = 0
+	l.cycle++
 	l.stats.Wraps++
 	return nil
 }

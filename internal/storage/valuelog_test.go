@@ -230,3 +230,154 @@ func TestValueLogUnwrittenRegionReadsAsMiss(t *testing.T) {
 		t.Fatalf("unwritten region readable: ok=%v err=%v", ok, err)
 	}
 }
+
+// TestValueLogAppendBatchEquivalence drives the same record stream through
+// Append and AppendBatch on twin logs: pointers, wrap points and every
+// readable record must be identical — only the write submission pattern
+// (and therefore latency) may differ.
+func TestValueLogAppendBatchEquivalence(t *testing.T) {
+	for name := range vlogDevices(t, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			serialDev := vlogDevices(t, 256<<10)[name]
+			batchDev := vlogDevices(t, 256<<10)[name]
+			ls, err := storage.NewValueLog(serialDev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := storage.NewValueLog(batchDev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nRecords := 900 // enough to wrap the 256 KB logs
+			keys := make([][]byte, nRecords)
+			vals := make([][]byte, nRecords)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+				vals[i] = bytes.Repeat([]byte{byte(i)}, (i*37)%700)
+			}
+			type ptr struct {
+				off int64
+				n   int
+			}
+			sp := make([]ptr, nRecords)
+			bp := make([]ptr, nRecords)
+			offs := make([]int64, 64)
+			ns := make([]int, 64)
+			for at := 0; at < nRecords; at += 64 {
+				hi := at + 64
+				if hi > nRecords {
+					hi = nRecords
+				}
+				for i := at; i < hi; i++ {
+					off, n, err := ls.Append(keys[i], vals[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					sp[i] = ptr{off, n}
+				}
+				w := hi - at
+				if err := lb.AppendBatch(keys[at:hi], vals[at:hi], offs[:w], ns[:w]); err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < w; j++ {
+					bp[at+j] = ptr{offs[j], ns[j]}
+				}
+			}
+			if sp[len(sp)-1] != bp[len(bp)-1] {
+				t.Fatalf("final pointers diverge: %+v vs %+v", sp[len(sp)-1], bp[len(bp)-1])
+			}
+			ss, bs := ls.Stats(), lb.Stats()
+			if ss.Records != bs.Records || ss.AppendedBytes != bs.AppendedBytes || ss.Wraps != bs.Wraps {
+				t.Fatalf("stats diverge:\nserial  %+v\nbatched %+v", ss, bs)
+			}
+			for i := range keys {
+				if sp[i] != bp[i] {
+					t.Fatalf("record %d pointer: serial %+v, batched %+v", i, sp[i], bp[i])
+				}
+				srec, sok, err := ls.ReadRecord(sp[i].off, sp[i].n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scp := append([]byte(nil), srec...)
+				brec, bok, err := lb.ReadRecord(bp[i].off, bp[i].n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sok != bok || !bytes.Equal(scp, brec) {
+					t.Fatalf("record %d: serial (%v, %d bytes) vs batched (%v, %d bytes)",
+						i, sok, len(scp), bok, len(brec))
+				}
+				sv, sgot := storage.VerifyRecord(scp, keys[i])
+				bv, bgot := storage.VerifyRecord(brec, keys[i])
+				if sgot != bgot || !bytes.Equal(sv, bv) {
+					t.Fatalf("record %d verification diverges", i)
+				}
+			}
+			// The batched log must not have written more often.
+			if sw, bw := serialDev.Counters().Writes, batchDev.Counters().Writes; bw > sw {
+				t.Fatalf("batched log wrote %d times > serial %d", bw, sw)
+			}
+		})
+	}
+}
+
+// TestValueLogSpaceAccounting pins the live/dead/lapped bookkeeping at the
+// log level: appends allocate live bytes, MarkDead moves them to the dead
+// side, lapping reclaims whole regions, and stale marks are clamped.
+func TestValueLogSpaceAccounting(t *testing.T) {
+	dev := ssd.New(ssd.IntelX18M(), 64<<10, vclock.New())
+	l, err := storage.NewValueLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("space-key")
+	val := bytes.Repeat([]byte{9}, 991)
+	recN := storage.RecordSize(len(key), len(val))
+
+	off1, n1, err := l.Append(key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.LiveBytes != int64(recN) || s.DeadBytes != 0 {
+		t.Fatalf("after one append: %+v", s)
+	}
+	l.MarkDead(off1, n1)
+	if s := l.Stats(); s.LiveBytes != 0 || s.DeadBytes != int64(recN) {
+		t.Fatalf("after MarkDead: %+v", s)
+	}
+	// Double-marking must clamp, not go negative.
+	l.MarkDead(off1, n1)
+	if s := l.Stats(); s.LiveBytes < 0 || s.DeadBytes > 2*int64(recN) {
+		t.Fatalf("after double MarkDead: %+v", s)
+	}
+
+	// Fill past several wraps; accounting must stay bounded by capacity and
+	// the lapped counters must grow.
+	for i := 0; i < 300; i++ {
+		if _, _, err := l.Append(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Wraps == 0 {
+		t.Fatal("log never wrapped; retune the test")
+	}
+	if s.LiveBytes+s.DeadBytes > s.Capacity {
+		t.Fatalf("accounting exceeds capacity: %+v", s)
+	}
+	if s.LappedBytes == 0 || s.LappedLiveBytes == 0 {
+		t.Fatalf("lapping not accounted: %+v", s)
+	}
+	if occ := s.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+
+	// Aggregation: Add must sum the space fields so fleet occupancy stays
+	// meaningful.
+	var agg storage.ValueLogStats
+	agg.Add(s)
+	agg.Add(s)
+	if agg.Capacity != 2*s.Capacity || agg.LiveBytes != 2*s.LiveBytes {
+		t.Fatalf("Add did not sum space fields: %+v", agg)
+	}
+}
