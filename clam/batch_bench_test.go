@@ -146,3 +146,39 @@ func BenchmarkLookupBatchZipfVsPerKeyDispatch(b *testing.B) {
 	}
 	benchPipelineVsPerKeyDispatch(b, s, probes)
 }
+
+// BenchmarkSingleShardFastPath: the all-keys-one-shard extreme. The fast
+// path skips grouping and the gather/scatter copies; the routed baseline
+// is the same batch forced through the general router path. The gap is the
+// single-core win of the PR-5 contiguity fast path (reported as
+// fastpath_speedup_x), independent of phase-A parallelism.
+func BenchmarkSingleShardFastPath(b *testing.B) {
+	s, universe := openBatchBench(b)
+	rng := rand.New(rand.NewSource(63))
+	probes := make([]uint64, 65536)
+	for i := range probes {
+		probes[i] = universe[rng.Intn(len(universe))] &^ (uint64(7) << 61) // shard 0 of 8
+	}
+	values := make([]uint64, len(probes))
+	found := make([]bool, len(probes))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		routed := measureLookups(b, func() {
+			if err := s.getBatchU64Routed(ctx, probes, values, found); err != nil {
+				b.Fatal(err)
+			}
+		})
+		fast := measureLookups(b, func() {
+			if err := s.getBatchU64Single(ctx, 0, probes, values, found); err != nil {
+				b.Fatal(err)
+			}
+		})
+		speedup = routed.Seconds() / fast.Seconds()
+		b.ReportMetric(float64(len(probes))/fast.Seconds(), "fastpath_ops/s(wall)")
+		b.ReportMetric(float64(len(probes))/routed.Seconds(), "routed_ops/s(wall)")
+	}
+	b.ReportMetric(speedup, "fastpath_speedup_x")
+}

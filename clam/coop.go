@@ -1,0 +1,120 @@
+package clam
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Cooperative phase scheduling: how several router workers share one hot
+// shard's batch.
+//
+// A shard's CLAM serializes behind one mutex and its BufferHash is
+// single-caller, so the router can never run two chunks of one shard at
+// once — that is what used to strand a skewed batch behind a single
+// worker. What the core batch pipelines *do* expose is an internal seam:
+// phase A (read-mostly memory resolution) splits into contiguous lanes run
+// through a core.PhaseRunner (see internal/core/phasea.go). The structures
+// here let idle router workers serve those lanes on behalf of the worker
+// that owns the hot shard:
+//
+//   - the owner binds a coopShard's runPhase into its chunk calls as the
+//     shard's PhaseRunner;
+//   - an idle worker attaches to the deepest owned shard and blocks in
+//     serve, executing lane groups the owner hands over;
+//   - handoff is an unbuffered channel with non-blocking sends, so a
+//     helper that is busy (or has left) costs the owner nothing — the
+//     owner simply runs the unclaimed lanes itself. There is no idle
+//     spinning and no possibility of a lane going unrun.
+//
+// Happens-before edges: the owner's pre-phase writes reach helpers through
+// the channel send; helpers' lane writes reach the owner through the
+// WaitGroup in runPhase. The shard's chunk results are therefore complete
+// and visible before the owner's chunk call returns, exactly as in the
+// serial case.
+
+// batchRunner is the phase-A parallel configuration one chunk call runs
+// with: the lane-count cap and the runner that executes lane tasks. The
+// zero value means serial phase A.
+type batchRunner struct {
+	width int
+	run   core.PhaseRunner
+}
+
+// coopShard coordinates one owned shard's phase-A handoff between its
+// owning worker and any attached co-workers.
+type coopShard struct {
+	tasks   chan *coopBatch
+	done    chan struct{} // closed by the owner when the shard drains
+	helpers atomic.Int32  // attached co-workers (router queue lock guards changes)
+}
+
+func newCoopShard() *coopShard {
+	return &coopShard{tasks: make(chan *coopBatch), done: make(chan struct{})}
+}
+
+// coopBatch is one chunk's phase-A lane group: a claim counter over the
+// lane tasks and a WaitGroup the owner blocks on until every lane ran.
+type coopBatch struct {
+	task  func(int)
+	next  atomic.Int32
+	lanes int32
+	wg    sync.WaitGroup
+}
+
+// work claims and executes lanes until none remain, reporting how many
+// this goroutine ran.
+func (b *coopBatch) work() (lanes uint64) {
+	for {
+		i := b.next.Add(1) - 1
+		if i >= b.lanes {
+			return lanes
+		}
+		b.task(int(i))
+		b.wg.Done()
+		lanes++
+	}
+}
+
+// runPhase is the core.PhaseRunner the owner binds into its chunk calls:
+// it offers the lane group to attached co-workers (one non-blocking send
+// per helper, capped at lanes-1 — the owner always works too), then claims
+// lanes alongside them and returns when all lanes have run.
+func (c *coopShard) runPhase(lanes int, task func(lane int)) {
+	h := int(c.helpers.Load())
+	if lanes <= 1 || h == 0 {
+		for i := 0; i < lanes; i++ {
+			task(i)
+		}
+		return
+	}
+	b := &coopBatch{task: task, lanes: int32(lanes)}
+	b.wg.Add(lanes)
+	if h > lanes-1 {
+		h = lanes - 1
+	}
+	for i := 0; i < h; i++ {
+		select {
+		case c.tasks <- b:
+			continue
+		default:
+		}
+		break // no co-worker ready to receive; keep the rest local
+	}
+	b.work()
+	b.wg.Wait()
+}
+
+// serve executes lane groups on behalf of the shard's owner until the
+// owner closes done, returning the number of lanes this co-worker ran.
+func (c *coopShard) serve() (lanes uint64) {
+	for {
+		select {
+		case b := <-c.tasks:
+			lanes += b.work()
+		case <-c.done:
+			return lanes
+		}
+	}
+}

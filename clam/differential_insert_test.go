@@ -28,6 +28,12 @@ type batchMutStore interface {
 // checking each lookup against both instances and the oracle tolerance
 // (strict: exact found/not-found agreement below eviction onset).
 func applyInsertDifferential(t *testing.T, name string, serial, batched batchMutStore, ops []op, strict bool) map[uint64]uint64 {
+	return applyInsertDifferentialWindow(t, name, serial, batched, ops, strict, 192)
+}
+
+// applyInsertDifferentialWindow is applyInsertDifferential with an explicit
+// mutation-window size (see applyBatchedDifferentialWindow).
+func applyInsertDifferentialWindow(t *testing.T, name string, serial, batched batchMutStore, ops []op, strict bool, window int) map[uint64]uint64 {
 	t.Helper()
 	ctx := context.Background()
 	oracle := make(map[uint64]uint64)
@@ -53,7 +59,6 @@ func applyInsertDifferential(t *testing.T, name string, serial, batched batchMut
 		}
 		delKeys = delKeys[:0]
 	}
-	const window = 192
 	for i, o := range ops {
 		switch o.kind {
 		case opInsert:

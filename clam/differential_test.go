@@ -257,9 +257,15 @@ type batchStore interface {
 // flushed window must agree key-for-key with the other instance and obey
 // the oracle tolerance (strict: exact found/not-found agreement).
 func applyBatchedDifferential(t *testing.T, name string, serial, batched batchStore, ops []op, strict bool) map[uint64]uint64 {
+	return applyBatchedDifferentialWindow(t, name, serial, batched, ops, strict, 128)
+}
+
+// applyBatchedDifferentialWindow is applyBatchedDifferential with an
+// explicit lookup-window size (the cooperative-regime tests use windows
+// spanning several router chunks so idle workers co-schedule).
+func applyBatchedDifferentialWindow(t *testing.T, name string, serial, batched batchStore, ops []op, strict bool, window int) map[uint64]uint64 {
 	t.Helper()
 	oracle := make(map[uint64]uint64)
-	const window = 128
 	var (
 		pkeys []uint64
 		pwant []uint64 // oracle value at enqueue time

@@ -1,0 +1,8 @@
+//go:build race
+
+package clam
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, which deliberately drops a fraction of sync.Pool puts and so
+// makes exact allocation guards meaningless.
+const raceEnabled = true

@@ -134,12 +134,22 @@ func (b *Bank) window(row uint64) uint64 {
 // may contain the key. Columns that currently hold no incarnation are
 // all-zero and thus never match.
 func (b *Bank) Query(keyHash uint64) uint64 {
-	b.scratch = hashutil.DoubleHash(keyHash, b.h, b.m, b.scratch[:0])
+	return b.QueryWith(keyHash, &b.scratch)
+}
+
+// QueryWith is Query against caller-owned hash scratch (grown in place and
+// reused across calls). The bank's slices are only read, so concurrent
+// QueryWith calls with distinct scratch are safe while no writer runs —
+// the property the parallel phase-A lanes of a batched lookup rely on;
+// Query itself uses the bank's own scratch and stays single-caller.
+func (b *Bank) QueryWith(keyHash uint64, scratch *[]uint64) uint64 {
+	rows := hashutil.DoubleHash(keyHash, b.h, b.m, (*scratch)[:0])
+	*scratch = rows
 	mask := ^uint64(0)
 	if b.k < 64 {
 		mask = 1<<b.k - 1
 	}
-	for _, row := range b.scratch {
+	for _, row := range rows {
 		mask &= b.window(row)
 		if mask == 0 {
 			return 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitslice"
@@ -55,8 +56,18 @@ type BufferHash struct {
 	staged      []stagedWrite
 
 	// deferCPU batches chargeCPU calls into cpuDebt (see LookupBatch).
+	// cpuDebt is atomic — the "deferred-clock accumulator" — because a
+	// parallel phase A charges it from several lanes at once; the serial
+	// paths pay an uncontended atomic add for the same code.
 	deferCPU bool
-	cpuDebt  time.Duration
+	cpuDebt  atomic.Int64
+
+	// Phase-A partitioner state (see phasea.go): an optional runner that
+	// spreads a batch's memory-resolution phase over cooperating workers,
+	// and the per-lane private scratch.
+	parWidth int
+	parRun   PhaseRunner
+	lanes    []*phaseLane
 }
 
 // stagedWrite is one deferred incarnation write.
@@ -184,30 +195,48 @@ func (b *BufferHash) flushStaged() error {
 	return nil
 }
 
-// chargeCPU advances the virtual clock by a CPU cost. During the batched
-// lookup pipeline's memory phase the charges accrue into one deferred
-// advance (same virtual total, far fewer clock atomics).
+// chargeCPU advances the virtual clock by a CPU cost. During a batched
+// pipeline's memory phase the charges accrue into one deferred advance
+// (same virtual total, far fewer clock advances). The accumulator is
+// atomic so a parallel phase A's lanes can charge concurrently; addition
+// commutes, so the settled total is byte-identical to the serial order.
 func (b *BufferHash) chargeCPU(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	if b.deferCPU {
-		b.cpuDebt += d
+		b.cpuDebt.Add(int64(d))
 		return
 	}
 	b.cfg.Clock.Advance(d)
 }
 
-// route hashes a user key to (super table, in-partition key). The first k1
+// settleCPUDebt lands the accumulated deferred CPU charges on the clock in
+// one advance (the batched pipelines' phase-C closing step).
+func (b *BufferHash) settleCPUDebt() {
+	if d := b.cpuDebt.Swap(0); d > 0 {
+		b.cfg.Clock.Advance(time.Duration(d))
+	}
+}
+
+// routeHash is the pure half of route: it hashes a user key to (partition
+// index, in-partition key) without touching the structure. The first k1
 // bits of the hash select the partition; the rest form the in-partition key
-// (§5.2), normalized to be non-zero for the cuckoo tables.
-func (b *BufferHash) route(key uint64) (*superTable, uint64) {
+// (§5.2), normalized to be non-zero for the cuckoo tables. Being a pure
+// bijection, it is safe to precompute from parallel phase-A lanes.
+func (b *BufferHash) routeHash(key uint64) (part int, kh uint64) {
 	h := hashutil.Mix64(key ^ hashutil.Mix64(b.cfg.Seed))
 	p, rest := hashutil.Split(h, b.cfg.PartitionBits)
 	if rest == 0 {
 		rest = 1
 	}
-	return b.parts[p], rest
+	return int(p), rest
+}
+
+// route hashes a user key to (super table, in-partition key).
+func (b *BufferHash) route(key uint64) (*superTable, uint64) {
+	p, kh := b.routeHash(key)
+	return b.parts[p], kh
 }
 
 // Insert adds or updates a (key, value) mapping.
